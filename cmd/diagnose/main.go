@@ -1,0 +1,89 @@
+// Command diagnose runs the subspace method on a link-load CSV (as
+// written by cmd/trafficgen, or exported from an SNMP collector) and
+// prints every diagnosed volume anomaly: when it happened, the OD flow
+// responsible, and the estimated byte count.
+//
+//	diagnose -topology abilene -links links.csv -confidence 0.999
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"netanomaly"
+)
+
+func main() {
+	topoName := flag.String("topology", "abilene", "abilene, sprint, or synthetic:<pops>:<edges>:<seed>")
+	linksPath := flag.String("links", "links.csv", "link-load matrix CSV")
+	confidence := flag.Float64("confidence", 0.999, "detection confidence level")
+	rank := flag.Int("rank", 0, "fixed normal-subspace rank (0 = 3-sigma rule)")
+	flag.Parse()
+
+	topo, err := parseTopology(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	links, _, err := netanomaly.LoadMatrixCSV(*linksPath)
+	if err != nil {
+		fatal(err)
+	}
+	diag, err := netanomaly.NewDiagnoser(links, topo, netanomaly.Options{
+		Confidence: *confidence,
+		Rank:       *rank,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	model := diag.Detector().Model()
+	fmt.Printf("model: %d links, normal subspace rank %d, SPE limit %.4g at %.2f%%\n",
+		model.NumLinks(), model.Rank(), diag.Detector().Limit(), 100*diag.Detector().Confidence())
+	results := diag.DiagnoseSeries(links)
+	if len(results) == 0 {
+		fmt.Println("no anomalies detected")
+		return
+	}
+	fmt.Printf("%6s %14s %14s %-16s %14s\n", "bin", "SPE", "threshold", "flow", "bytes")
+	for _, r := range results {
+		fmt.Printf("%6d %14.4g %14.4g %-16s %14.4g\n",
+			r.Bin, r.SPE, r.Threshold, topo.FlowName(r.Flow), r.Bytes)
+	}
+	fmt.Printf("%d anomalies over %d bins\n", len(results), links.Rows())
+}
+
+func parseTopology(name string) (*netanomaly.Topology, error) {
+	switch {
+	case name == "abilene":
+		return netanomaly.Abilene(), nil
+	case name == "sprint":
+		return netanomaly.SprintEurope(), nil
+	case strings.HasPrefix(name, "synthetic:"):
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("synthetic topology: want synthetic:<pops>:<edges>:<seed>")
+		}
+		pops, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		edges, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, err
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return netanomaly.SyntheticTopology(pops, edges, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diagnose:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,332 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section on the simulated datasets and prints them in the
+// paper's layout. Run with no arguments for everything, or name specific
+// experiments:
+//
+//	paperfigs table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 ablations
+//
+// The -stride flag subsamples the injection day for the sweep-based
+// experiments (stride 1 is the paper's full 144-bin day; larger strides
+// run proportionally faster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"netanomaly/internal/eval"
+	"netanomaly/internal/experiments"
+)
+
+func main() {
+	stride := flag.Int("stride", 3, "injection sweep bin stride (1 = full day)")
+	flag.Parse()
+	wanted := map[string]bool{}
+	for _, a := range flag.Args() {
+		wanted[strings.ToLower(a)] = true
+	}
+	all := len(wanted) == 0
+	run := func(name string) bool { return all || wanted[name] }
+
+	if run("table1") {
+		table1()
+	}
+	if run("fig1") {
+		figure1()
+	}
+	if run("fig3") {
+		figure3()
+	}
+	if run("fig4") {
+		figure4()
+	}
+	if run("fig5") {
+		figure5()
+	}
+	if run("fig6") {
+		figure6()
+	}
+	if run("table2") {
+		table2()
+	}
+	var studies []experiments.InjectionStudy
+	if run("fig7") || run("fig8") || run("fig9") || run("table3") {
+		for _, d := range experiments.AllDatasets() {
+			s, err := experiments.NewInjectionStudy(d, *stride)
+			check(err)
+			studies = append(studies, s)
+		}
+	}
+	if run("fig7") {
+		figure7(studies)
+	}
+	if run("fig8") {
+		figure8(studies)
+	}
+	if run("fig9") {
+		figure9(studies)
+	}
+	if run("table3") {
+		table3(studies)
+	}
+	if run("fig10") {
+		figure10()
+	}
+	if run("ablations") {
+		ablations(*stride)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func header(s string) {
+	fmt.Printf("\n=== %s ===\n", s)
+}
+
+func table1() {
+	header("Table 1: Summary of datasets studied")
+	fmt.Printf("%-12s %6s %7s %9s %7s %s\n", "Dataset", "#PoPs", "#Links", "Time Bin", "#Bins", "Period")
+	for _, r := range experiments.Table1() {
+		fmt.Printf("%-12s %6d %7d %9s %7d %s\n", r.Name, r.PoPs, r.Links, r.Bin, r.Bins, r.Period)
+	}
+}
+
+func figure1() {
+	header("Figure 1: OD flow anomaly vs the links that carry it")
+	for _, d := range experiments.AllDatasets() {
+		f1 := experiments.Figure1(d)
+		n := len(f1.FlowSeries)
+		fmt.Printf("%s: anomaly of %.3g bytes in flow %s at bin %d\n",
+			f1.Dataset, f1.Anomaly.Delta, f1.FlowName, f1.Anomaly.Bin)
+		fmt.Printf("  OD flow %-10s %s\n", f1.FlowName, experiments.Sparkline(f1.FlowSeries, 72))
+		for i, name := range f1.LinkNames {
+			fmt.Printf("  link %-13s %s\n", name, experiments.Sparkline(f1.LinkSeries[i], 72))
+		}
+		fmt.Printf("  anomaly bin:       %s\n", experiments.MarkLine(n, []int{f1.Anomaly.Bin}, 72))
+	}
+}
+
+func figure3() {
+	header("Figure 3: Fraction of total link traffic variance per principal component")
+	rows, err := experiments.Figure3()
+	check(err)
+	for _, r := range rows {
+		fmt.Printf("%s (90%% of variance in %d components):\n", r.Dataset, r.Effective90)
+		for i := 0; i < 8 && i < len(r.Fractions); i++ {
+			fmt.Printf("  PC%-2d %6.4f %s\n", i+1, r.Fractions[i], experiments.HBar(r.Fractions[i], 40))
+		}
+	}
+}
+
+func figure4() {
+	header("Figure 4: Projections on normal vs anomalous principal axes")
+	for _, d := range experiments.AllDatasets() {
+		f4, err := experiments.Figure4(d)
+		check(err)
+		fmt.Printf("%s (normal subspace rank r=%d):\n", f4.Dataset, f4.Rank)
+		for _, ax := range f4.NormalAxes {
+			fmt.Printf("  u%-2d (normal)    %s\n", ax+1, experiments.Sparkline(f4.Projections[ax], 72))
+		}
+		for _, ax := range f4.AnomalousAxes {
+			fmt.Printf("  u%-2d (anomalous) %s\n", ax+1, experiments.Sparkline(f4.Projections[ax], 72))
+		}
+	}
+}
+
+func figure5() {
+	header("Figure 5: State vector ||y||^2 vs residual vector ||y~||^2")
+	for _, d := range experiments.AllDatasets() {
+		f5, err := experiments.Figure5(d)
+		check(err)
+		n := len(f5.State)
+		fmt.Printf("%s (Q-limits: 99.5%%=%.3g  99.9%%=%.3g):\n", f5.Dataset, f5.Limit995, f5.Limit999)
+		fmt.Printf("  state    %s\n", experiments.Sparkline(f5.State, 72))
+		fmt.Printf("  residual %s\n", experiments.Sparkline(f5.Residual, 72))
+		fmt.Printf("  truth    %s\n", experiments.MarkLine(n, f5.TrueBins, 72))
+		var above int
+		for b, v := range f5.Residual {
+			if v > f5.Limit999 && !contains(f5.TrueBins, b) {
+				above++
+			}
+		}
+		fmt.Printf("  residual false alarms at 99.9%%: %d/%d\n", above, n-len(f5.TrueBins))
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func figure6() {
+	header("Figure 6: Rank-ordered anomalies — detection / identification / quantification")
+	for _, d := range experiments.AllDatasets() {
+		f6, err := experiments.Figure6(d, eval.FourierLabeler{}, 40)
+		check(err)
+		fmt.Printf("%s (Fourier ground truth, cutoff %.1e):\n", f6.Dataset, f6.Cutoff)
+		fmt.Printf("  %4s %12s %9s %6s %6s %12s\n", "rank", "size", "above", "det", "ident", "estimate")
+		for i, a := range f6.Ranked.Anomalies {
+			if i >= 15 && a.Size < f6.Cutoff {
+				fmt.Printf("  ... (%d more below cutoff)\n", len(f6.Ranked.Anomalies)-i)
+				break
+			}
+			mark := func(b bool) string {
+				if b {
+					return "yes"
+				}
+				return "-"
+			}
+			aboveS := "-"
+			if a.Size >= f6.Cutoff {
+				aboveS = "yes"
+			}
+			est := "-"
+			if f6.Ranked.Identified[i] {
+				est = fmt.Sprintf("%.3g", f6.Ranked.Estimates[i])
+			}
+			fmt.Printf("  %4d %12.4g %9s %6s %6s %12s\n",
+				i+1, a.Size, aboveS, mark(f6.Ranked.Detected[i]), mark(f6.Ranked.Identified[i]), est)
+		}
+	}
+}
+
+func table2() {
+	header("Table 2: Results from actual volume anomalies (99.9% confidence)")
+	fmt.Printf("%-8s %-12s %9s %10s %12s %14s %8s\n",
+		"Valid.", "Dataset", "Size", "Detection", "FalseAlarm", "Identification", "Quant.")
+	rows, err := experiments.Table2()
+	check(err)
+	for _, r := range rows {
+		fmt.Printf("%-8s %-12s %9.1e %7d/%-3d %8d/%-4d %9d/%-4d %7.1f%%\n",
+			r.Validation, r.Dataset, r.Cutoff,
+			r.Result.Detected, r.Result.TrueAnomalies,
+			r.Result.FalseAlarms, r.Result.NormalBins,
+			r.Result.Identified, r.Result.IdentTrials,
+			100*r.Result.QuantErr)
+	}
+}
+
+func figure7(studies []experiments.InjectionStudy) {
+	header("Figure 7: Detection rate histograms from injected spikes")
+	for _, s := range studies {
+		f7 := experiments.Figure7(s)
+		fmt.Printf("%s: large %.3g (overall %.0f%%), small %.3g (overall %.0f%%)\n",
+			f7.Dataset, s.Large.Size, 100*f7.LargeRate, s.Small.Size, 100*f7.SmallRate)
+		lf := f7.LargeHist.Fractions()
+		sf := f7.SmallHist.Fractions()
+		for i := range lf {
+			fmt.Printf("  [%.1f-%.1f) large %-26s small %s\n",
+				float64(i)/10, float64(i+1)/10,
+				experiments.HBar(lf[i], 24), experiments.HBar(sf[i], 24))
+		}
+	}
+}
+
+func figure8(studies []experiments.InjectionStudy) {
+	header("Figure 8: Detection rate over time of day (large injections)")
+	for _, s := range studies {
+		f8 := experiments.Figure8(s)
+		fmt.Printf("%s: rates %.2f-%.2f across the day\n  %s\n",
+			f8.Dataset, f8.MinRate, f8.MaxRate, experiments.Sparkline(f8.Rates, 72))
+	}
+}
+
+func figure9(studies []experiments.InjectionStudy) {
+	header("Figure 9: Detection rate vs mean OD flow rate (large injections)")
+	for _, s := range studies {
+		f9 := experiments.Figure9(s)
+		fmt.Printf("%s: smallest-quartile rate %.2f, largest-quartile %.2f, top-5 flows %.2f\n",
+			f9.Dataset, f9.SmallQuartileRate, f9.LargeQuartileRate, f9.TopFlowsRate)
+		// Decile summary of the scatter.
+		n := len(f9.FlowRates)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return f9.FlowRates[idx[a]] < f9.FlowRates[idx[b]] })
+		for dec := 0; dec < 10; dec++ {
+			lo, hi := dec*n/10, (dec+1)*n/10
+			var rate, det float64
+			for _, i := range idx[lo:hi] {
+				rate += f9.FlowRates[i]
+				det += f9.DetRates[i]
+			}
+			k := float64(hi - lo)
+			fmt.Printf("  decile %2d: mean flow %9.3g  detection %s %.2f\n",
+				dec+1, rate/k, experiments.HBar(det/k, 24), det/k)
+		}
+	}
+}
+
+func table3(studies []experiments.InjectionStudy) {
+	header("Table 3: Results on diagnosing synthetic volume anomalies")
+	fmt.Printf("%-12s %-16s %10s %15s %15s\n", "Network", "Injection Size", "Detection", "Identification", "Quantification")
+	for _, r := range experiments.Table3(studies) {
+		fmt.Printf("%-12s %-6s (%.1e) %9.0f%% %14.0f%% %14.0f%%\n",
+			r.Network, r.Injection, r.Size, 100*r.Detection, 100*r.Identification, 100*r.QuantErr)
+	}
+}
+
+func figure10() {
+	header("Figure 10: Subspace vs Fourier vs EWMA residuals on link data")
+	for _, d := range experiments.AllDatasets() {
+		f10, err := experiments.Figure10(d)
+		check(err)
+		n := len(f10.Subspace)
+		fmt.Printf("%s (separation = min anomaly residual / max normal residual):\n", f10.Dataset)
+		fmt.Printf("  subspace %s  sep %.2f\n", experiments.Sparkline(f10.Subspace, 64), f10.SubspaceSeparation)
+		fmt.Printf("  fourier  %s  sep %.2f\n", experiments.Sparkline(f10.Fourier, 64), f10.FourierSeparation)
+		fmt.Printf("  ewma     %s  sep %.2f\n", experiments.Sparkline(f10.EWMA, 64), f10.EWMASeparation)
+		fmt.Printf("  truth    %s\n", experiments.MarkLine(n, f10.TrueBins, 64))
+	}
+}
+
+func ablations(stride int) {
+	header("Ablation: normal subspace rank (SprintSim-1)")
+	rows, err := experiments.AblationSubspaceRank(experiments.SprintSim1(), []int{1, 2, 3, 4, 5, 6, 8, 10, 15, 20}, stride*4)
+	check(err)
+	fmt.Printf("%5s %6s %12s %15s\n", "rank", "by3σ", "falseAlarms", "det@cutoff")
+	for _, r := range rows {
+		auto := ""
+		if r.ChosenBy3σ {
+			auto = "yes"
+		}
+		fmt.Printf("%5d %6s %8d/%-4d %14.0f%%\n", r.Rank, auto, r.FalseAlarms, r.NormalBins, 100*r.Detection)
+	}
+
+	header("Ablation: confidence level (SprintSim-1)")
+	crows, err := experiments.AblationConfidence(experiments.SprintSim1(), []float64{0.99, 0.995, 0.999, 0.9995})
+	check(err)
+	fmt.Printf("%10s %12s %12s %10s\n", "confidence", "limit", "falseAlarms", "detection")
+	for _, r := range crows {
+		fmt.Printf("%9.2f%% %12.3g %8d/%-4d %9.0f%%\n", 100*r.Confidence, r.Limit, r.FalseAlarms, r.NormalBins, 100*r.Detection)
+	}
+
+	header("Ablation: SVD vs covariance eigendecomposition")
+	for _, d := range experiments.AllDatasets() {
+		res, err := experiments.AblationEigVsSVD(d)
+		check(err)
+		fmt.Printf("%-12s rank %d: max variance rel diff %.2e, projector diff %.2e\n",
+			res.Dataset, res.Rank, res.MaxVarianceRelDiff, res.ProjectorDiff)
+	}
+
+	header("Ablation: closed-form vs Equation (1) identification")
+	for _, d := range experiments.AllDatasets() {
+		res, err := experiments.AblationIdentification(d)
+		check(err)
+		fmt.Printf("%-12s agreement %d/%d, max byte-estimate rel diff %.2e\n",
+			res.Dataset, res.Agreements, res.Trials, res.MaxBytesRel)
+	}
+}

@@ -1,0 +1,95 @@
+package netanomaly
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteMatrixCSV writes a matrix as CSV: an optional header row of column
+// names followed by one row per bin. Pass nil header to omit it.
+func WriteMatrixCSV(w io.Writer, m *Matrix, header []string) error {
+	rows, cols := m.Dims()
+	if header != nil && len(header) != cols {
+		return fmt.Errorf("netanomaly: header has %d names for %d columns", len(header), cols)
+	}
+	cw := csv.NewWriter(w)
+	if header != nil {
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	rec := make([]string, cols)
+	for i := 0; i < rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMatrixCSV parses a matrix written by WriteMatrixCSV. When the first
+// record fails to parse as numbers it is treated as a header and skipped.
+func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("netanomaly: reading CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, nil, fmt.Errorf("netanomaly: empty CSV")
+	}
+	var header []string
+	if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
+		header = recs[0]
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		return nil, header, fmt.Errorf("netanomaly: CSV has a header but no data")
+	}
+	cols := len(recs[0])
+	m := NewMatrix(len(recs), cols, nil)
+	for i, rec := range recs {
+		if len(rec) != cols {
+			return nil, header, fmt.Errorf("netanomaly: row %d has %d fields, want %d", i, len(rec), cols)
+		}
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, header, fmt.Errorf("netanomaly: row %d col %d: %w", i, j, err)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m, header, nil
+}
+
+// SaveMatrixCSV writes the matrix to a file.
+func SaveMatrixCSV(path string, m *Matrix, header []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteMatrixCSV(f, m, header); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMatrixCSV reads a matrix from a file.
+func LoadMatrixCSV(path string) (*Matrix, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadMatrixCSV(f)
+}

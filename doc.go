@@ -1,0 +1,38 @@
+// Package netanomaly diagnoses network-wide traffic anomalies from link
+// measurements using the PCA subspace method of Lakhina, Crovella and
+// Diot, "Diagnosing Network-Wide Traffic Anomalies" (SIGCOMM 2004).
+//
+// The method separates the space of link traffic measurements into a
+// normal subspace capturing the predictable, network-wide structure
+// (diurnal cycles, weekly patterns) and an anomalous subspace containing
+// the residual. Volume anomalies — sudden traffic changes in an
+// origin-destination (OD) flow — barely perturb total traffic but stand
+// out sharply in the residual. The library performs the paper's three
+// diagnosis steps:
+//
+//   - Detection: flag timesteps whose squared prediction error exceeds
+//     the Q-statistic threshold (Jackson & Mudholkar).
+//   - Identification: choose the OD flow whose routing-matrix direction
+//     best explains the residual.
+//   - Quantification: estimate the anomalous byte count.
+//
+// # Quick start
+//
+//	topo := netanomaly.Abilene()
+//	cfg := netanomaly.DefaultTrafficConfig(42)
+//	od, _ := netanomaly.GenerateTraffic(topo, cfg)   // or load real data
+//	links := netanomaly.LinkLoads(topo, od)
+//	diag, _ := netanomaly.NewDiagnoser(links, topo, netanomaly.Options{})
+//	for _, a := range diag.DiagnoseSeries(links) {
+//	    fmt.Printf("bin %d: flow %s, ~%.0f bytes\n",
+//	        a.Bin, topo.FlowName(a.Flow), a.Bytes)
+//	}
+//
+// Everything is deterministic in the provided seeds and uses only the
+// standard library. The subpackages under internal/ implement the
+// substrates: dense linear algebra (internal/mat), network topology and
+// routing (internal/topology), the traffic model (internal/traffic), the
+// simulated measurement plane (internal/netmeas), temporal baselines
+// (internal/timeseries), the subspace method itself (internal/core), and
+// the paper's full evaluation (internal/eval, internal/experiments).
+package netanomaly

@@ -1,0 +1,100 @@
+// Compare contrasts spatial against temporal anomaly detection on the
+// same link data (Section 7.3 / Figure 10): the subspace method exploits
+// correlation across links, while Fourier filtering and EWMA smoothing
+// exploit correlation across time within each link. On traffic with rich
+// periodic structure, the temporal residuals stay noisy and periodic —
+// no threshold separates anomalies from normal traffic — while the
+// subspace residual isolates them sharply.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netanomaly"
+	"netanomaly/internal/core"
+	"netanomaly/internal/timeseries"
+)
+
+func main() {
+	topo := netanomaly.SprintEurope()
+	cfg := netanomaly.DefaultTrafficConfig(1101)
+	cfg.TotalMeanRate = 7.2e8
+	od, err := netanomaly.GenerateTraffic(topo, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anomalies := []netanomaly.Anomaly{
+		{Flow: topo.FlowID(0, 7), Bin: 260, Delta: 2.6e7},
+		{Flow: topo.FlowID(9, 3), Bin: 640, Delta: 3.2e7},
+		{Flow: topo.FlowID(5, 12), Bin: 930, Delta: 2.4e7},
+	}
+	netanomaly.InjectAnomalies(od, anomalies)
+	links := netanomaly.LinkLoads(topo, od)
+	bins, nLinks := links.Dims()
+
+	// Subspace residual: ||C~ y||^2 per bin.
+	p, err := core.Fit(links)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := core.Build(p, core.SeparateAxes(p, core.DefaultSigma))
+	if err != nil {
+		log.Fatal(err)
+	}
+	subspace := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		subspace[b] = model.SPE(links.Row(b))
+	}
+
+	// Temporal residuals: filter each link's timeseries independently and
+	// take the squared norm of the per-bin residual vector.
+	fourier := make([]float64, bins)
+	ewma := make([]float64, bins)
+	fm := timeseries.NewFourierModel(1.0 / 6.0)
+	for l := 0; l < nLinks; l++ {
+		col := links.Col(l)
+		fit, err := fm.Fit(col)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred := (timeseries.EWMA{Alpha: 0.25}).Forecast(col)
+		for b := 0; b < bins; b++ {
+			df := col[b] - fit[b]
+			fourier[b] += df * df
+			de := col[b] - pred[b]
+			ewma[b] += de * de
+		}
+	}
+
+	trueBins := map[int]bool{}
+	for _, a := range anomalies {
+		trueBins[a.Bin] = true
+	}
+	report := func(name string, resid []float64) {
+		minAnom, maxNorm := -1.0, 0.0
+		for b, v := range resid {
+			if trueBins[b] {
+				if minAnom < 0 || v < minAnom {
+					minAnom = v
+				}
+			} else if v > maxNorm {
+				maxNorm = v
+			}
+		}
+		sep := minAnom / maxNorm
+		verdict := "anomalies NOT separable from normal traffic"
+		if sep > 1 {
+			verdict = fmt.Sprintf("clean threshold exists (margin %.1fx)", sep)
+		}
+		fmt.Printf("%-8s residual: min@anomaly %.3g, max@normal %.3g -> %s\n",
+			name, minAnom, maxNorm, verdict)
+	}
+	fmt.Printf("three injected anomalies on %d bins of %d-link data\n\n", bins, nLinks)
+	report("subspace", subspace)
+	report("fourier", fourier)
+	report("ewma", ewma)
+
+	fmt.Println("\nconclusion: spatial correlation across links separates what")
+	fmt.Println("temporal filtering of individual links cannot (Figure 10).")
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/traffic"
+)
+
+func TestDetectorFlagsInjectedSpike(t *testing.T) {
+	topo, x, m, _, _ := fitPipeline(t, 40, 1008)
+	det, err := NewDetector(m, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := traffic.LinkLoadAt(topo, x.Row(500))
+	if d := det.Detect(clean); d.Alarm {
+		t.Fatalf("clean bin raised alarm: SPE %v > %v", d.SPE, d.Threshold)
+	}
+	spiked := spikedLinkLoad(topo, x, 500, 9, 8e7)
+	if d := det.Detect(spiked); !d.Alarm {
+		t.Fatalf("8e7-byte spike not detected: SPE %v <= %v", d.SPE, d.Threshold)
+	}
+}
+
+func TestDetectorAccessors(t *testing.T) {
+	_, _, m, _, _ := fitPipeline(t, 41, 288)
+	det, err := NewDetector(m, 0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Confidence() != 0.995 {
+		t.Fatalf("Confidence = %v", det.Confidence())
+	}
+	if det.Limit() <= 0 {
+		t.Fatalf("Limit = %v", det.Limit())
+	}
+	if det.Model() != m {
+		t.Fatal("Model accessor wrong")
+	}
+}
+
+func TestDetectSeriesLowFalseAlarms(t *testing.T) {
+	topo, _, y := testDataset(t, 42, 1008)
+	_ = topo
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(p, SeparateAxes(p, DefaultSigma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetector(m, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := det.DetectSeries(y)
+	if len(ds) != 1008 {
+		t.Fatalf("detections = %d", len(ds))
+	}
+	alarms := 0
+	for i, d := range ds {
+		if d.Bin != i {
+			t.Fatalf("bin index %d != %d", d.Bin, i)
+		}
+		if d.Alarm {
+			alarms++
+		}
+	}
+	// Clean simulated data: false alarm rate must stay near nominal 0.1%.
+	if alarms > 15 {
+		t.Fatalf("false alarms %d/1008 too high", alarms)
+	}
+}
+
+func TestDetectSeriesDimensionPanic(t *testing.T) {
+	_, _, m, _, _ := fitPipeline(t, 43, 288)
+	det, _ := NewDetector(m, 0.999)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	det.DetectSeries(mat.Zeros(5, 3))
+}
+
+func TestDiagnoserEndToEnd(t *testing.T) {
+	topo, x, _, _, _ := fitPipeline(t, 44, 1008)
+	// Inject a known anomaly, rebuild loads, diagnose the full series.
+	flow := topo.FlowID(2, 9)
+	const bin, size = 600, 9e7
+	dirty := x.Clone()
+	traffic.Inject(dirty, []traffic.Anomaly{{Flow: flow, Bin: bin, Delta: size}})
+	y := traffic.LinkLoads(topo, dirty)
+
+	diag, err := NewDiagnoser(y, topo.RoutingMatrix(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := diag.DiagnoseSeries(y)
+	found := false
+	for _, r := range results {
+		if r.Bin == bin {
+			found = true
+			if r.Flow != flow {
+				t.Fatalf("identified flow %d want %d", r.Flow, flow)
+			}
+			if math.Abs(r.Bytes-size)/size > 0.3 {
+				t.Fatalf("quantified %v want ~%v", r.Bytes, size)
+			}
+			if r.SPE <= r.Threshold {
+				t.Fatal("diagnosed anomaly must exceed threshold")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("anomaly at bin %d not diagnosed; got %d detections", bin, len(results))
+	}
+	// The alarm list must stay short on otherwise-clean data.
+	if len(results) > 12 {
+		t.Fatalf("too many detections: %d", len(results))
+	}
+}
+
+func TestDiagnoseAtNonAnomalous(t *testing.T) {
+	topo, x, _, _, _ := fitPipeline(t, 45, 432)
+	y := traffic.LinkLoads(topo, x)
+	diag, err := NewDiagnoser(y, topo.RoutingMatrix(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := diag.DiagnoseAt(y.Row(100))
+	if ok {
+		t.Fatal("clean bin diagnosed as anomalous")
+	}
+	if d.Flow != -1 {
+		t.Fatalf("non-anomalous diagnosis must carry Flow=-1, got %d", d.Flow)
+	}
+}
+
+func TestDiagnoserOptionDefaults(t *testing.T) {
+	o := Options{}
+	o.fillDefaults()
+	if o.Confidence != 0.999 || o.Sigma != DefaultSigma {
+		t.Fatalf("defaults = %+v", o)
+	}
+}
+
+func TestDiagnoserFixedRank(t *testing.T) {
+	topo, _, y := testDataset(t, 46, 432)
+	diag, err := NewDiagnoser(y, topo.RoutingMatrix(), Options{Rank: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Detector().Model().Rank() != 6 {
+		t.Fatalf("rank = %d want 6", diag.Detector().Model().Rank())
+	}
+}
+
+func TestNewDetectorBadConfidence(t *testing.T) {
+	_, _, m, _, _ := fitPipeline(t, 47, 288)
+	if _, err := NewDetector(m, 1.5); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netanomaly/internal/mat"
+)
+
+// Identifier locates which hypothesized anomaly best explains a residual
+// measurement vector, and quantifies it (Sections 5.2 and 5.3). The
+// candidate anomaly set is the columns of the routing matrix A: each OD
+// flow adds an equal amount of traffic to every link on its path, so the
+// anomaly direction for flow i is theta_i = A_i / ||A_i||.
+type Identifier struct {
+	model *Model
+	// theta[i] is the unit-norm anomaly direction for flow i (nil for
+	// flows with an empty route).
+	theta [][]float64
+	// thetaTilde[i] = C~ theta_i, its projection onto the anomalous
+	// subspace; thetaTildeSq[i] = ||C~ theta_i||^2.
+	thetaTilde   [][]float64
+	thetaTildeSq []float64
+	// aNorm[i] = ||A_i|| = sqrt(path length); aSum[i] = sum(A_i) = path
+	// length. Used by quantification via the column-normalized Abar.
+	aNorm []float64
+	aSum  []float64
+}
+
+// NewIdentifier precomputes the per-flow anomaly directions and their
+// anomalous-subspace projections for the model and routing matrix a
+// (links x flows). Flows whose routing column is all-zero are excluded
+// from identification.
+func NewIdentifier(m *Model, a *mat.Dense) (*Identifier, error) {
+	links, flows := a.Dims()
+	if links != m.NumLinks() {
+		return nil, fmt.Errorf("core: routing matrix has %d links, model has %d", links, m.NumLinks())
+	}
+	id := &Identifier{
+		model:        m,
+		theta:        make([][]float64, flows),
+		thetaTilde:   make([][]float64, flows),
+		thetaTildeSq: make([]float64, flows),
+		aNorm:        make([]float64, flows),
+		aSum:         make([]float64, flows),
+	}
+	for i := 0; i < flows; i++ {
+		col := a.Col(i)
+		var sum float64
+		for _, v := range col {
+			sum += v
+		}
+		norm := mat.Norm2(col)
+		if norm == 0 {
+			continue // unroutable flow, cannot hypothesize
+		}
+		theta := mat.CloneVec(col)
+		mat.ScaleVec(theta, 1/norm)
+		tt := mat.MulVec(m.ct, theta)
+		id.theta[i] = theta
+		id.thetaTilde[i] = tt
+		id.thetaTildeSq[i] = mat.SqNorm(tt)
+		id.aNorm[i] = norm
+		id.aSum[i] = sum
+	}
+	return id, nil
+}
+
+// NumFlows returns the number of candidate anomalies (OD flows).
+func (id *Identifier) NumFlows() int { return len(id.theta) }
+
+// Result is an identified and quantified anomaly hypothesis.
+type Result struct {
+	// Flow is the index of the best anomaly hypothesis (OD flow).
+	Flow int
+	// Magnitude is fhat_i, the anomaly amplitude along theta_i.
+	Magnitude float64
+	// Bytes is the quantification estimate Abar_i^T y' of the anomalous
+	// byte count in the flow (Section 5.3).
+	Bytes float64
+	// ResidualSq is ||C~ y*_i||^2, the residual left after removing the
+	// hypothesized anomaly; the chosen flow minimizes it.
+	ResidualSq float64
+}
+
+// Identify chooses the best single-flow hypothesis for the measurement y.
+// It minimizes ||C~ y*_i||^2 over flows i, where y*_i = y - theta_i fhat_i
+// and fhat_i = (theta~_i^T theta~_i)^-1 theta~_i^T y~ (Equation 1). By
+// orthogonal projection the minimized residual equals
+// ||y~||^2 - (theta~_i^T y~)^2 / ||theta~_i||^2, so the scan is O(flows x
+// links) without rebuilding y*_i per hypothesis.
+func (id *Identifier) Identify(y []float64) Result {
+	yt := id.model.Residual(y)
+	base := mat.SqNorm(yt)
+	best := Result{Flow: -1, ResidualSq: base}
+	for i := range id.theta {
+		if id.theta[i] == nil || id.thetaTildeSq[i] == 0 {
+			continue
+		}
+		dot := mat.Dot(id.thetaTilde[i], yt)
+		resid := base - dot*dot/id.thetaTildeSq[i]
+		if best.Flow < 0 || resid < best.ResidualSq {
+			fhat := dot / id.thetaTildeSq[i]
+			best = Result{
+				Flow:       i,
+				Magnitude:  fhat,
+				Bytes:      id.quantify(i, fhat),
+				ResidualSq: resid,
+			}
+		}
+	}
+	return best
+}
+
+// IdentifyNaive recomputes y*_i with Equation (1) and projects it for each
+// hypothesis, exactly as written in the paper. It is O(flows x links^2)
+// and exists to validate the closed form used by Identify (the two must
+// agree; see the ablation benchmark).
+func (id *Identifier) IdentifyNaive(y []float64) Result {
+	yc := id.model.center(y)
+	yt := mat.MulVec(id.model.ct, yc)
+	best := Result{Flow: -1, ResidualSq: math.Inf(1)}
+	for i := range id.theta {
+		if id.theta[i] == nil || id.thetaTildeSq[i] == 0 {
+			continue
+		}
+		fhat := mat.Dot(id.thetaTilde[i], yt) / id.thetaTildeSq[i]
+		// y*_i = y - theta_i fhat
+		ystar := mat.CloneVec(yc)
+		mat.AddScaled(ystar, -fhat, id.theta[i])
+		resid := mat.SqNorm(mat.MulVec(id.model.ct, ystar))
+		if resid < best.ResidualSq {
+			best = Result{Flow: i, Magnitude: fhat, Bytes: id.quantify(i, fhat), ResidualSq: resid}
+		}
+	}
+	return best
+}
+
+// quantify computes Abar_i^T y' for y' = theta_i * fhat (Section 5.3):
+// the anomalous traffic on each affected link, averaged through the
+// column-normalized routing matrix, which for a single flow reduces to
+// fhat * (A_i^T A_i / (||A_i|| * sum(A_i))) = fhat / ||A_i|| for a 0/1
+// column.
+func (id *Identifier) quantify(flow int, fhat float64) float64 {
+	if id.aSum[flow] == 0 {
+		return 0
+	}
+	// Abar_i^T theta_i = (A_i^T A_i) / (sum(A_i) * ||A_i||)
+	//                  = ||A_i||^2 / (sum * norm)
+	return fhat * id.aNorm[flow] * id.aNorm[flow] / (id.aSum[flow] * id.aNorm[flow])
+}
+
+// DetectabilityThreshold returns the minimum number of anomalous bytes
+// b_i in flow i that guarantees detection at the SPE threshold delta
+// (Section 5.4): b_i > 2*delta / (||C~ theta_i|| * ||A_i||). delta is the
+// square root of the Q-statistic limit (the limit applies to SPE, which
+// is a squared norm). Flows aligned with the normal subspace have small
+// ||C~ theta_i|| and thus a high threshold; a flow with a zero projection
+// is undetectable and the threshold is +Inf.
+func (id *Identifier) DetectabilityThreshold(flow int, delta float64) float64 {
+	if flow < 0 || flow >= len(id.theta) {
+		panic(fmt.Sprintf("core: flow %d out of range %d", flow, len(id.theta)))
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("core: delta %v < 0", delta))
+	}
+	if id.theta[flow] == nil {
+		return math.Inf(1)
+	}
+	proj := math.Sqrt(id.thetaTildeSq[flow])
+	if proj == 0 {
+		return math.Inf(1)
+	}
+	return 2 * delta / (proj * id.aNorm[flow])
+}
+
+// DetectabilityThresholds returns the sufficient detection threshold (in
+// bytes) for every flow at the given SPE limit, with +Inf for flows the
+// model cannot detect at all.
+func (id *Identifier) DetectabilityThresholds(limit float64) []float64 {
+	delta := math.Sqrt(limit)
+	out := make([]float64, len(id.theta))
+	for f := range out {
+		out[f] = id.DetectabilityThreshold(f, delta)
+	}
+	return out
+}
+
+// MultiResult is the outcome of multi-flow identification (Section 7.2).
+type MultiResult struct {
+	// Candidate is the index into the candidate set that best explains
+	// the residual.
+	Candidate int
+	// Flows are the OD flows of that candidate.
+	Flows []int
+	// Magnitudes are the fitted per-flow intensities f (one per flow).
+	Magnitudes []float64
+	// Bytes are per-flow quantification estimates.
+	Bytes []float64
+	// ResidualSq is the remaining ||C~ y*||^2.
+	ResidualSq float64
+}
+
+// IdentifyMulti generalizes identification to anomalies spanning several
+// OD flows with different intensities: each candidate is a set of flows;
+// theta_i becomes the matrix Theta_i with one normalized routing column
+// per flow and f_i a vector fitted by least squares (Section 7.2,
+// following Dunia & Qin). The candidate minimizing the remaining residual
+// wins. Candidates whose flows are all unroutable are skipped; if every
+// candidate is skipped, Candidate is -1.
+func (id *Identifier) IdentifyMulti(y []float64, candidates [][]int) MultiResult {
+	yt := id.model.Residual(y)
+	best := MultiResult{Candidate: -1, ResidualSq: math.Inf(1)}
+	for ci, flows := range candidates {
+		var usable []int
+		for _, f := range flows {
+			if f < 0 || f >= len(id.theta) {
+				panic(fmt.Sprintf("core: candidate %d references flow %d out of range %d", ci, f, len(id.theta)))
+			}
+			if id.theta[f] != nil {
+				usable = append(usable, f)
+			}
+		}
+		if len(usable) == 0 {
+			continue
+		}
+		m := len(yt)
+		thetaT := mat.Zeros(m, len(usable))
+		for j, f := range usable {
+			thetaT.SetCol(j, id.thetaTilde[f])
+		}
+		fvec, err := mat.SolveLS(thetaT, yt)
+		if err != nil {
+			// Collinear candidate directions (e.g. identical routes);
+			// skip rather than fabricate a solution.
+			continue
+		}
+		resid := mat.CloneVec(yt)
+		for j, f := range usable {
+			mat.AddScaled(resid, -fvec[j], id.thetaTilde[f])
+		}
+		rsq := mat.SqNorm(resid)
+		if rsq < best.ResidualSq {
+			bytes := make([]float64, len(usable))
+			for j, f := range usable {
+				bytes[j] = id.quantify(f, fvec[j])
+			}
+			best = MultiResult{
+				Candidate:  ci,
+				Flows:      append([]int(nil), usable...),
+				Magnitudes: fvec,
+				Bytes:      bytes,
+				ResidualSq: rsq,
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netanomaly/internal/mat"
+)
+
+// CovTracker maintains an exponentially weighted running estimate of the
+// mean and covariance of link measurements, supporting the occasional
+// cheap model refresh that Section 7.1 recommends for online use: rather
+// than recomputing an SVD over a full window, each arriving vector makes
+// a rank-1 update, and Model() re-solves only the small m x m symmetric
+// eigenproblem when a refreshed subspace is actually needed.
+type CovTracker struct {
+	dim    int
+	lambda float64
+	n      int
+	mean   []float64
+	cov    *mat.Dense
+}
+
+// NewCovTracker returns a tracker for dim-dimensional measurements with
+// forgetting factor lambda in (0, 1]: lambda = 1 weights all history
+// equally; smaller values forget with time constant ~1/(1-lambda) bins
+// (e.g. 0.999 ~ a week of 10-minute bins).
+func NewCovTracker(dim int, lambda float64) (*CovTracker, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("core: tracker dimension %d <= 0", dim)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("core: forgetting factor %v out of (0,1]", lambda)
+	}
+	return &CovTracker{
+		dim:    dim,
+		lambda: lambda,
+		mean:   make([]float64, dim),
+		cov:    mat.Zeros(dim, dim),
+	}, nil
+}
+
+// Count returns the number of observations absorbed.
+func (c *CovTracker) Count() int { return c.n }
+
+// Update absorbs one measurement vector with a rank-1 covariance update
+// (O(m^2) per observation).
+func (c *CovTracker) Update(y []float64) {
+	if len(y) != c.dim {
+		panic(fmt.Sprintf("core: tracker update length %d != dim %d", len(y), c.dim))
+	}
+	c.n++
+	if c.n == 1 {
+		copy(c.mean, y)
+		return
+	}
+	// Exponentially weighted analog of Welford's update. With lambda = 1
+	// this reproduces the exact sample mean/covariance recursion.
+	var w float64
+	if c.lambda == 1 {
+		w = 1 / float64(c.n)
+	} else {
+		w = 1 - c.lambda
+	}
+	delta := mat.SubVec(y, c.mean)
+	mat.AddScaled(c.mean, w, delta)
+	delta2 := mat.SubVec(y, c.mean)
+	// cov <- (1-w)*cov + w*delta*delta2^T
+	for i := 0; i < c.dim; i++ {
+		row := c.cov.RowView(i)
+		di := delta[i]
+		for j := 0; j < c.dim; j++ {
+			row[j] = (1-w)*row[j] + w*di*delta2[j]
+		}
+	}
+}
+
+// UpdateAll absorbs every row of a measurement matrix.
+func (c *CovTracker) UpdateAll(y *mat.Dense) {
+	rows, _ := y.Dims()
+	for b := 0; b < rows; b++ {
+		c.Update(y.RowView(b))
+	}
+}
+
+// Mean returns a copy of the current mean estimate.
+func (c *CovTracker) Mean() []float64 { return mat.CloneVec(c.mean) }
+
+// Covariance returns a copy of the current covariance estimate.
+func (c *CovTracker) Covariance() *mat.Dense { return c.cov.Clone() }
+
+// PCA solves the m x m eigenproblem on the tracked covariance and
+// returns the equivalent of a batch PCA (without temporal projections,
+// which a running estimate cannot provide; SeparateAxes on this PCA is
+// not meaningful — choose the rank from a batch fit or a fixed policy).
+func (c *CovTracker) PCA() (*PCA, error) {
+	if c.n < 2 {
+		return nil, ErrTooFewSamples
+	}
+	vals, vecs, err := mat.SymEig(c.cov)
+	if err != nil {
+		return nil, fmt.Errorf("core: tracker eigendecomposition: %w", err)
+	}
+	for i, v := range vals {
+		if v < 0 {
+			vals[i] = 0 // PSD up to round-off
+		}
+	}
+	return &PCA{
+		Components:  vecs,
+		Variances:   vals,
+		Projections: mat.Zeros(1, len(vals)), // no temporal view
+		Means:       mat.CloneVec(c.mean),
+		SampleCount: c.n,
+	}, nil
+}
+
+// Model builds a subspace model of the given rank from the tracked
+// state.
+func (c *CovTracker) Model(rank int) (*Model, error) {
+	p, err := c.PCA()
+	if err != nil {
+		return nil, err
+	}
+	return Build(p, rank)
+}
+
+// Drift measures how far the tracked subspace has moved from a reference
+// model: ||C~_ref - C~_now||_F for the same rank. The paper observes the
+// projection P P^T is stable week to week; Drift quantifies when a refit
+// is warranted.
+func (c *CovTracker) Drift(ref *Model) (float64, error) {
+	m, err := c.Model(ref.Rank())
+	if err != nil {
+		return math.NaN(), err
+	}
+	return mat.Sub(ref.ResidualOperator(), m.ResidualOperator()).Frobenius(), nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"netanomaly/internal/mat"
+)
+
+// OnlineDetector applies the subspace method as a first-level online
+// monitoring tool (Section 7.1): each arriving measurement vector is
+// tested against a model fitted on a sliding window of history, and
+// alarms carry the identified OD flow and estimated size so that
+// fine-grained collection can be triggered. The model matrix P P^T is
+// stable week to week, so refits are occasional (Refit), not per-bin.
+//
+// OnlineDetector is safe for concurrent use.
+type OnlineDetector struct {
+	mu         sync.Mutex
+	a          *mat.Dense
+	opts       Options
+	window     *ring
+	diag       *Diagnoser
+	processed  int
+	refitEvery int
+}
+
+// ring is a fixed-capacity row buffer for measurement vectors.
+type ring struct {
+	rows  [][]float64
+	next  int
+	count int
+}
+
+func newRing(capacity int) *ring { return &ring{rows: make([][]float64, capacity)} }
+
+func (r *ring) push(row []float64) {
+	r.rows[r.next] = mat.CloneVec(row)
+	r.next = (r.next + 1) % len(r.rows)
+	if r.count < len(r.rows) {
+		r.count++
+	}
+}
+
+// matrix returns the buffered rows, oldest first, as a dense matrix.
+func (r *ring) matrix() *mat.Dense {
+	if r.count == 0 {
+		return nil
+	}
+	cols := len(r.rows[(r.next-1+len(r.rows))%len(r.rows)])
+	m := mat.Zeros(r.count, cols)
+	start := 0
+	if r.count == len(r.rows) {
+		start = r.next
+	}
+	for i := 0; i < r.count; i++ {
+		m.SetRow(i, r.rows[(start+i)%len(r.rows)])
+	}
+	return m
+}
+
+// OnlineConfig configures NewOnlineDetector.
+type OnlineConfig struct {
+	// Window is the number of most recent bins kept for model fitting
+	// (the paper fits on one week: 1008 ten-minute bins).
+	Window int
+	// RefitEvery triggers an automatic refit after this many processed
+	// bins; 0 disables automatic refits (call Refit explicitly).
+	RefitEvery int
+	// Options configure the underlying diagnoser.
+	Options Options
+}
+
+// NewOnlineDetector fits an initial model on history (bins x links) and
+// returns a streaming detector. history must have at least as many bins
+// as links; its most recent Window rows seed the sliding window.
+func NewOnlineDetector(history, a *mat.Dense, cfg OnlineConfig) (*OnlineDetector, error) {
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("core: online window %d <= 0", cfg.Window)
+	}
+	t, _ := history.Dims()
+	if t < cfg.Window {
+		cfg.Window = t
+	}
+	o := &OnlineDetector{a: a, opts: cfg.Options, refitEvery: cfg.RefitEvery}
+	o.window = newRing(cfg.Window)
+	for b := t - cfg.Window; b < t; b++ {
+		o.window.push(history.RowView(b))
+	}
+	diag, err := NewDiagnoser(o.window.matrix(), a, o.opts)
+	if err != nil {
+		return nil, err
+	}
+	o.diag = diag
+	return o, nil
+}
+
+// Alarm is an anomaly raised by the online detector.
+type Alarm struct {
+	// Seq is the running index of the processed measurement.
+	Seq int
+	Diagnosis
+}
+
+// Process tests one measurement vector, appends it to the window, and
+// refits when the refit interval elapses. It returns an alarm when the
+// measurement is anomalous. Refit errors are returned; the previous model
+// stays in force when a refit fails.
+func (o *OnlineDetector) Process(y []float64) (Alarm, bool, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	diag, anomalous := o.diag.DiagnoseAt(y)
+	seq := o.processed
+	o.processed++
+	diag.Bin = seq
+	// Anomalous bins are withheld from the window so they do not inflate
+	// the residual variance of the next model (the paper's model is fit
+	// on normal traffic; one contaminated week changed results little,
+	// but exclusion is the conservative choice).
+	if !anomalous {
+		o.window.push(y)
+	}
+	var err error
+	if o.refitEvery > 0 && o.processed%o.refitEvery == 0 {
+		err = o.refitLocked()
+	}
+	return Alarm{Seq: seq, Diagnosis: diag}, anomalous, err
+}
+
+// Refit rebuilds the model from the current window contents.
+func (o *OnlineDetector) Refit() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.refitLocked()
+}
+
+func (o *OnlineDetector) refitLocked() error {
+	w := o.window.matrix()
+	if w == nil {
+		return fmt.Errorf("core: online window empty")
+	}
+	diag, err := NewDiagnoser(w, o.a, o.opts)
+	if err != nil {
+		return fmt.Errorf("core: online refit: %w", err)
+	}
+	o.diag = diag
+	return nil
+}
+
+// Processed returns the number of measurements seen so far.
+func (o *OnlineDetector) Processed() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.processed
+}

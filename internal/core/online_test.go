@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/traffic"
+)
+
+func TestOnlineDetectorAlarmsOnSpike(t *testing.T) {
+	// Two simulated weeks: fit the model on week one (the paper's
+	// deployment mode, Section 7.1), stream week two.
+	topo, x, _, _, _ := fitPipeline(t, 60, 2016)
+	y := traffic.LinkLoads(topo, x)
+	history := mat.Zeros(1008, topo.NumLinks())
+	for b := 0; b < 1008; b++ {
+		history.SetRow(b, y.RowView(b))
+	}
+	od, err := NewOnlineDetector(history, topo.RoutingMatrix(), OnlineConfig{Window: 1008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := topo.FlowID(1, 7)
+	alarms := 0
+	const spikeBin = 1200
+	for b := 1008; b < 1296; b++ {
+		v := x.Row(b)
+		if b == spikeBin {
+			v[flow] += 9e7
+		}
+		al, anomalous, err := od.Process(traffic.LinkLoadAt(topo, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anomalous {
+			alarms++
+			if b == spikeBin {
+				if al.Flow != flow {
+					t.Fatalf("online alarm identified flow %d want %d", al.Flow, flow)
+				}
+				if al.Bytes < 4e7 {
+					t.Fatalf("online alarm bytes = %v", al.Bytes)
+				}
+			}
+		} else if b == spikeBin {
+			t.Fatal("online detector missed the injected spike")
+		}
+	}
+	if alarms > 10 {
+		t.Fatalf("online false alarms too high: %d", alarms)
+	}
+	if od.Processed() != 288 {
+		t.Fatalf("Processed = %d want 288", od.Processed())
+	}
+}
+
+func TestOnlineDetectorRefit(t *testing.T) {
+	topo, x, _, _, _ := fitPipeline(t, 61, 1008)
+	y := traffic.LinkLoads(topo, x)
+	history := mat.Zeros(600, topo.NumLinks())
+	for b := 0; b < 600; b++ {
+		history.SetRow(b, y.RowView(b))
+	}
+	od, err := NewOnlineDetector(history, topo.RoutingMatrix(), OnlineConfig{
+		Window:     600,
+		RefitEvery: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 600; b < 900; b++ {
+		if _, _, err := od.Process(y.Row(b)); err != nil {
+			t.Fatalf("bin %d: refit failed: %v", b, err)
+		}
+	}
+	if err := od.Refit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineDetectorWindowShorterThanHistory(t *testing.T) {
+	topo, _, y := testDataset(t, 62, 432)
+	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := od.Process(y.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineDetectorBadWindow(t *testing.T) {
+	topo, _, y := testDataset(t, 63, 288)
+	if _, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 0}); err == nil {
+		t.Fatal("expected error for zero window")
+	}
+}
+
+func TestOnlineDetectorConcurrentProcess(t *testing.T) {
+	topo, _, y := testDataset(t, 64, 432)
+	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 432})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < 50; b++ {
+				od.Process(y.Row((g*50 + b) % 432))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if od.Processed() != 200 {
+		t.Fatalf("Processed = %d want 200", od.Processed())
+	}
+}
+
+func TestRingBuffer(t *testing.T) {
+	r := newRing(3)
+	if r.matrix() != nil {
+		t.Fatal("empty ring must return nil matrix")
+	}
+	r.push([]float64{1, 1})
+	r.push([]float64{2, 2})
+	m := r.matrix()
+	if m.Rows() != 2 || m.At(0, 0) != 1 || m.At(1, 0) != 2 {
+		t.Fatalf("partial ring matrix wrong: %v", m)
+	}
+	r.push([]float64{3, 3})
+	r.push([]float64{4, 4}) // evicts 1
+	m = r.matrix()
+	if m.Rows() != 3 {
+		t.Fatalf("full ring rows = %d", m.Rows())
+	}
+	if m.At(0, 0) != 2 || m.At(2, 0) != 4 {
+		t.Fatalf("ring order wrong: %v", m)
+	}
+}

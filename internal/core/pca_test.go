@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+	"netanomaly/internal/traffic"
+)
+
+// testDataset builds a small simulated link-load matrix for core tests:
+// two days of 10-minute bins on Abilene.
+func testDataset(t *testing.T, seed int64, bins int) (*topology.Topology, *mat.Dense, *mat.Dense) {
+	t.Helper()
+	topo := topology.Abilene()
+	cfg := traffic.DefaultConfig(seed)
+	cfg.Bins = bins
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate()
+	y := traffic.LinkLoads(topo, x)
+	return topo, x, y
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *mat.Dense {
+	m := mat.Zeros(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestFitBasicProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	y := randMatrix(rng, 60, 8)
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumComponents() != 8 {
+		t.Fatalf("components = %d", p.NumComponents())
+	}
+	if p.SampleCount != 60 {
+		t.Fatalf("SampleCount = %d", p.SampleCount)
+	}
+	// Variances descending and non-negative.
+	for i, v := range p.Variances {
+		if v < 0 {
+			t.Fatalf("negative variance %v", v)
+		}
+		if i > 0 && v > p.Variances[i-1]+1e-12 {
+			t.Fatalf("variances not sorted: %v", p.Variances)
+		}
+	}
+	// Components orthonormal.
+	if !mat.EqualApprox(p.Components.Gram(), mat.Identity(8), 1e-9) {
+		t.Fatal("components not orthonormal")
+	}
+	// Projections orthonormal (full rank random data).
+	if !mat.EqualApprox(p.Projections.Gram(), mat.Identity(8), 1e-9) {
+		t.Fatal("projections not orthonormal")
+	}
+}
+
+func TestFitDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	y := randMatrix(rng, 20, 4)
+	orig := y.Clone()
+	if _, err := Fit(y); err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(y, orig, 0) {
+		t.Fatal("Fit must not modify its input")
+	}
+}
+
+func TestFitTotalVariancePreserved(t *testing.T) {
+	// Sum of PCA variances equals total sample variance of the data.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y := randMatrix(rng, 30, 5)
+		p, err := Fit(y)
+		if err != nil {
+			return false
+		}
+		var pcaTotal float64
+		for _, v := range p.Variances {
+			pcaTotal += v
+		}
+		c := y.Clone()
+		c.CenterColumns()
+		dataTotal := 0.0
+		for j := 0; j < 5; j++ {
+			col := c.Col(j)
+			dataTotal += mat.SqNorm(col) / float64(29)
+		}
+		return math.Abs(pcaTotal-dataTotal) < 1e-8*(1+dataTotal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitVarianceMatchesProjection(t *testing.T) {
+	// Variances[i] must equal ||Y v_i||^2/(t-1) computed directly.
+	rng := rand.New(rand.NewSource(3))
+	y := randMatrix(rng, 40, 6)
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := y.Clone()
+	c.CenterColumns()
+	for i := 0; i < 6; i++ {
+		yv := mat.MulVec(c, p.Components.Col(i))
+		want := mat.SqNorm(yv) / 39
+		if math.Abs(p.Variances[i]-want) > 1e-9*(1+want) {
+			t.Fatalf("variance[%d] = %v want %v", i, p.Variances[i], want)
+		}
+	}
+}
+
+func TestFitFirstComponentMaximizesVariance(t *testing.T) {
+	// No random direction may capture more variance than v_1.
+	rng := rand.New(rand.NewSource(4))
+	y := randMatrix(rng, 50, 6)
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := y.Clone()
+	c.CenterColumns()
+	for trial := 0; trial < 50; trial++ {
+		v := make([]float64, 6)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		mat.Normalize(v)
+		varV := mat.SqNorm(mat.MulVec(c, v)) / 49
+		if varV > p.Variances[0]+1e-9 {
+			t.Fatalf("random direction captured %v > leading %v", varV, p.Variances[0])
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(mat.Zeros(1, 3)); err != ErrTooFewSamples {
+		t.Fatalf("expected ErrTooFewSamples, got %v", err)
+	}
+	if _, err := Fit(mat.Zeros(3, 5)); err == nil {
+		t.Fatal("expected error for t < m")
+	}
+}
+
+func TestFitEigAgreesWithFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	y := randMatrix(rng, 60, 7)
+	p1, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := FitEig(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqualApprox(p1.Variances, p2.Variances, 1e-6*(1+p1.Variances[0])) {
+		t.Fatalf("variances disagree:\n%v\n%v", p1.Variances, p2.Variances)
+	}
+	// Components agree up to sign.
+	for i := 0; i < 7; i++ {
+		d := math.Abs(mat.Dot(p1.Components.Col(i), p2.Components.Col(i)))
+		if math.Abs(d-1) > 1e-6 {
+			t.Fatalf("component %d disagreement: |dot| = %v", i, d)
+		}
+	}
+}
+
+func TestVarianceFractionsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	y := randMatrix(rng, 30, 5)
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, f := range p.VarianceFractions() {
+		if f < 0 {
+			t.Fatal("negative fraction")
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+}
+
+func TestLinkTrafficLowEffectiveDimensionality(t *testing.T) {
+	// The Figure 3 phenomenon: network link traffic with shared diurnal
+	// structure concentrates its variance in a handful of components even
+	// though there are 41 links.
+	_, _, y := testDataset(t, 9, 1008)
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := p.EffectiveDimension(0.9)
+	if dim > 10 {
+		t.Fatalf("effective dimension %d too high for diurnal traffic (want <= 10 of 41)", dim)
+	}
+	fr := p.VarianceFractions()
+	if fr[0] < 0.3 {
+		t.Fatalf("leading component captures only %v of variance", fr[0])
+	}
+}
+
+func TestEffectiveDimensionBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	y := randMatrix(rng, 30, 5)
+	p, err := Fit(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.EffectiveDimension(1.0); d != 5 {
+		t.Fatalf("full-variance dimension = %d want 5", d)
+	}
+	if d := p.EffectiveDimension(0.01); d != 1 {
+		t.Fatalf("tiny-variance dimension = %d want 1", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for frac out of range")
+		}
+	}()
+	p.EffectiveDimension(0)
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/stats"
+)
+
+// DefaultSigma is the deviation threshold of the paper's separation
+// procedure: the first principal axis whose projection contains a 3-sigma
+// deviation from its mean starts the anomalous subspace (Section 4.3).
+const DefaultSigma = 3.0
+
+// SeparateAxes applies the threshold-based separation procedure to the
+// fitted PCA: it examines the projection u_i on each principal axis in
+// order and returns r, the number of leading axes assigned to the normal
+// subspace. Axis i is the first (0-based index r) whose projection
+// deviates from its mean by more than sigma standard deviations at any
+// timestep; that axis and all subsequent ones are anomalous.
+//
+// The returned r is clamped to [1, m-1] so that both subspaces are
+// non-empty: r = 0 would leave no traffic model, and r = m would make
+// detection impossible (the paper's datasets yield r = 4).
+func SeparateAxes(p *PCA, sigma float64) int {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("core: separation sigma %v <= 0", sigma))
+	}
+	m := p.NumComponents()
+	r := m
+	for i := 0; i < m; i++ {
+		u := p.Projections.Col(i)
+		mean, std := stats.MeanStd(u)
+		if std == 0 {
+			continue
+		}
+		violated := false
+		for _, v := range u {
+			if v > mean+sigma*std || v < mean-sigma*std {
+				violated = true
+				break
+			}
+		}
+		if violated {
+			r = i
+			break
+		}
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > m-1 {
+		r = m - 1
+	}
+	return r
+}
+
+// Model is a fitted subspace separation: the projection operators onto the
+// normal subspace S (spanned by the first r principal axes) and the
+// anomalous subspace S~, plus what the Q-statistic needs.
+type Model struct {
+	rank  int
+	means []float64
+	// c = P P^T projects onto S; ct = I - P P^T projects onto S~.
+	c, ct *mat.Dense
+	// residVariances are the variances lambda_j for the anomalous axes
+	// j > r, used by the Q-statistic.
+	residVariances []float64
+}
+
+// Build constructs the subspace model from a fitted PCA with the first
+// rank axes normal. rank must be in [1, m-1].
+func Build(p *PCA, rank int) (*Model, error) {
+	m := p.NumComponents()
+	if rank < 1 || rank >= m {
+		return nil, fmt.Errorf("core: rank %d out of [1, %d]", rank, m-1)
+	}
+	pm := mat.Zeros(m, rank)
+	for j := 0; j < rank; j++ {
+		pm.SetCol(j, p.Components.Col(j))
+	}
+	c := mat.Mul(pm, pm.T())
+	ct := mat.Sub(mat.Identity(m), c)
+	// Variances that are numerically zero relative to the leading one are
+	// decomposition round-off, not signal; floor them so the Q-statistic
+	// recognizes a genuinely degenerate residual subspace.
+	resid := mat.CloneVec(p.Variances[rank:])
+	floor := 1e-12 * p.Variances[0]
+	for i, v := range resid {
+		if v < floor {
+			resid[i] = 0
+		}
+	}
+	return &Model{
+		rank:           rank,
+		means:          mat.CloneVec(p.Means),
+		c:              c,
+		ct:             ct,
+		residVariances: resid,
+	}, nil
+}
+
+// BuildAuto fits the separation with SeparateAxes at DefaultSigma and
+// builds the model.
+func BuildAuto(p *PCA) (*Model, error) {
+	return Build(p, SeparateAxes(p, DefaultSigma))
+}
+
+// Rank returns r, the dimension of the normal subspace.
+func (m *Model) Rank() int { return m.rank }
+
+// NumLinks returns the number of links the model was fitted on.
+func (m *Model) NumLinks() int { return len(m.means) }
+
+// Means returns a copy of the per-link means the model removes.
+func (m *Model) Means() []float64 { return mat.CloneVec(m.means) }
+
+// center returns y - means, validating the dimension.
+func (m *Model) center(y []float64) []float64 {
+	if len(y) != len(m.means) {
+		panic(fmt.Sprintf("core: measurement length %d != model links %d", len(y), len(m.means)))
+	}
+	return mat.SubVec(y, m.means)
+}
+
+// Decompose splits a link measurement vector y into its modeled part
+// yhat (projection onto S) and residual part ytilde (projection onto S~),
+// working on the mean-centered vector: y - mean = yhat + ytilde.
+func (m *Model) Decompose(y []float64) (yhat, ytilde []float64) {
+	yc := m.center(y)
+	yhat = mat.MulVec(m.c, yc)
+	ytilde = mat.MulVec(m.ct, yc)
+	return yhat, ytilde
+}
+
+// Residual returns the anomalous-subspace projection ytilde = C~ (y-mean).
+func (m *Model) Residual(y []float64) []float64 {
+	return mat.MulVec(m.ct, m.center(y))
+}
+
+// SPE returns the squared prediction error ||ytilde||^2 for the
+// measurement vector y (Section 5.1).
+func (m *Model) SPE(y []float64) float64 {
+	return mat.SqNorm(m.Residual(y))
+}
+
+// ResidualOperator returns the projection matrix onto the anomalous
+// subspace, C~ = I - P P^T. The returned matrix must not be modified.
+func (m *Model) ResidualOperator() *mat.Dense { return m.ct }
+
+// ErrDegenerateResidual is returned by QLimit when the anomalous subspace
+// carries no variance, leaving the Q-statistic undefined.
+var ErrDegenerateResidual = errors.New("core: anomalous subspace has zero variance")
+
+// QLimit returns the threshold delta^2_alpha for the SPE at the given
+// confidence level (e.g. 0.999 for the paper's 99.9%), using the result of
+// Jackson and Mudholkar (Section 5.1):
+//
+//	delta^2 = phi1 * [ c_a*sqrt(2*phi2*h0^2)/phi1 + 1 +
+//	                   phi2*h0*(h0-1)/phi1^2 ]^(1/h0)
+//
+// with phi_i = sum_{j>r} lambda_j^i and h0 = 1 - 2*phi1*phi3/(3*phi2^2).
+// The result holds regardless of how many components are retained, and is
+// robust to departures from Gaussianity (Jensen and Solomon, cited in the
+// paper).
+func (m *Model) QLimit(confidence float64) (float64, error) {
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("core: confidence %v out of (0,1)", confidence)
+	}
+	var phi1, phi2, phi3 float64
+	for _, l := range m.residVariances {
+		phi1 += l
+		phi2 += l * l
+		phi3 += l * l * l
+	}
+	if phi1 <= 0 || phi2 <= 0 {
+		return 0, ErrDegenerateResidual
+	}
+	h0 := 1 - 2*phi1*phi3/(3*phi2*phi2)
+	ca := stats.NormalQuantile(confidence)
+	if h0 <= 0 {
+		// Degenerate eigenvalue structure; fall back to the one-term
+		// normal approximation SPE ~ N(phi1, 2*phi2).
+		return phi1 + ca*math.Sqrt(2*phi2), nil
+	}
+	term := ca*math.Sqrt(2*phi2)*h0/phi1 + 1 + phi2*h0*(h0-1)/(phi1*phi1)
+	if term <= 0 {
+		return 0, ErrDegenerateResidual
+	}
+	return phi1 * math.Pow(term, 1/h0), nil
+}

@@ -1,0 +1,485 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"netanomaly/internal/eval"
+)
+
+// The experiments tests assert the paper's qualitative results — who
+// wins, by roughly what factor, where crossovers fall — on the fixed
+// simulated datasets. They share the package-level dataset cache, so the
+// expensive generation happens once per test binary.
+
+func TestDatasetsMatchTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("Table 1 rows = %d", len(rows))
+	}
+	want := []struct {
+		name  string
+		pops  int
+		links int
+	}{
+		{"SprintSim-1", 13, 49},
+		{"SprintSim-2", 13, 49},
+		{"AbileneSim", 11, 41},
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Name != w.name || r.PoPs != w.pops || r.Links != w.links {
+			t.Fatalf("row %d = %+v want %+v", i, r, w)
+		}
+		if r.Bins != 1008 {
+			t.Fatalf("%s bins = %d want 1008", r.Name, r.Bins)
+		}
+		if r.Bin.Minutes() != 10 {
+			t.Fatalf("%s bin duration = %v want 10m", r.Name, r.Bin)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("AbileneSim")
+	if err != nil || d.Name != "AbileneSim" {
+		t.Fatalf("DatasetByName: %v %v", d, err)
+	}
+	if _, err := DatasetByName("nosuch"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	d := SprintSim1()
+	d2 := buildDataset(specs[0])
+	if !equalMat(d.OD, d2.OD) {
+		t.Fatal("dataset generation must be deterministic")
+	}
+}
+
+func equalMat(a, b interface{ At(int, int) float64 }) bool {
+	type dims interface{ Dims() (int, int) }
+	r1, c1 := a.(dims).Dims()
+	r2, c2 := b.(dims).Dims()
+	if r1 != r2 || c1 != c2 {
+		return false
+	}
+	for i := 0; i < r1; i++ {
+		for j := 0; j < c1; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFigure1PicksLongPathAnomaly(t *testing.T) {
+	for _, d := range AllDatasets() {
+		f1 := Figure1(d)
+		if len(f1.LinkSeries) < 2 {
+			t.Fatalf("%s: illustration path too short (%d links)", d.Name, len(f1.LinkSeries))
+		}
+		if len(f1.FlowSeries) != d.Bins() {
+			t.Fatalf("%s: flow series length %d", d.Name, len(f1.FlowSeries))
+		}
+		// The anomaly must be visible in the OD flow at its bin.
+		bin := f1.Anomaly.Bin
+		if f1.FlowSeries[bin] < f1.Anomaly.Delta {
+			t.Fatalf("%s: OD series at anomaly bin %d (%v) below injected %v",
+				d.Name, bin, f1.FlowSeries[bin], f1.Anomaly.Delta)
+		}
+		if len(f1.LinkNames) != len(f1.LinkSeries) {
+			t.Fatal("link names and series must align")
+		}
+	}
+}
+
+func TestFigure3LowEffectiveDimensionality(t *testing.T) {
+	rows, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Figure 3's claim: the vast majority of variance in 3-5
+		// components despite 40+ links.
+		if r.Effective90 > 5 {
+			t.Fatalf("%s: %d components for 90%% variance (paper: 3-4)", r.Dataset, r.Effective90)
+		}
+		var sum float64
+		for _, f := range r.Fractions {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: fractions sum %v", r.Dataset, sum)
+		}
+	}
+}
+
+func TestFigure4NormalAxesBoundedAnomalousSpiky(t *testing.T) {
+	for _, d := range AllDatasets() {
+		f4, err := Figure4(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f4.Rank < 1 {
+			t.Fatalf("%s: rank %d", d.Name, f4.Rank)
+		}
+		// Normal-axis projections stay within 3 sigma by construction of
+		// the separation rule.
+		for _, ax := range f4.NormalAxes {
+			u := f4.Projections[ax]
+			if maxAbsDev(u) > 3.0 {
+				t.Fatalf("%s: normal axis %d deviates %v sigma", d.Name, ax, maxAbsDev(u))
+			}
+		}
+		// The first anomalous axis must violate 3 sigma (that is what
+		// put it in the anomalous subspace).
+		u := f4.Projections[f4.AnomalousAxes[0]]
+		if maxAbsDev(u) <= 3.0 {
+			t.Fatalf("%s: first anomalous axis within 3 sigma (%v)", d.Name, maxAbsDev(u))
+		}
+	}
+}
+
+func maxAbsDev(u []float64) float64 {
+	var mean float64
+	for _, v := range u {
+		mean += v
+	}
+	mean /= float64(len(u))
+	var varSum float64
+	for _, v := range u {
+		varSum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varSum / float64(len(u)-1))
+	var mx float64
+	for _, v := range u {
+		d := math.Abs(v - mean)
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx / std
+}
+
+func TestFigure5ResidualSeparatesAnomalies(t *testing.T) {
+	for _, d := range AllDatasets() {
+		f5, err := Figure5(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f5.Limit999 <= f5.Limit995 {
+			t.Fatalf("%s: limits not ordered", d.Name)
+		}
+		// Every true anomaly bin should exceed the 99.9% limit in the
+		// residual while the state vector does not make them stand out:
+		// the anomaly bins are not even in the top-|anomalies| of state.
+		for _, b := range f5.TrueBins {
+			if f5.Residual[b] <= f5.Limit999 {
+				t.Fatalf("%s: anomaly at bin %d below residual limit", d.Name, b)
+			}
+		}
+		// The state vector admits no clean threshold: the smallest state
+		// magnitude at an anomaly bin is buried below the largest normal
+		// magnitude (the paper: "quite difficult to see the effects of
+		// anomalies on the traffic volume as a whole"). The residual
+		// does admit one (checked above via the Q-limit).
+		isTrue := map[int]bool{}
+		for _, b := range f5.TrueBins {
+			isTrue[b] = true
+		}
+		minAnomState := math.Inf(1)
+		maxNormState := 0.0
+		for b, v := range f5.State {
+			if isTrue[b] {
+				if v < minAnomState {
+					minAnomState = v
+				}
+			} else if v > maxNormState {
+				maxNormState = v
+			}
+		}
+		if minAnomState > maxNormState {
+			t.Fatalf("%s: state vector separates anomalies cleanly — the detection problem would be trivial", d.Name)
+		}
+	}
+}
+
+func TestFigure6RankOrderShape(t *testing.T) {
+	for _, d := range AllDatasets() {
+		f6, err := Figure6(d, eval.FourierLabeler{}, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f6.Ranked.Anomalies) != 40 {
+			t.Fatalf("%s: ranked %d", d.Name, len(f6.Ranked.Anomalies))
+		}
+		var above, detected, identified, belowDetected int
+		for i, a := range f6.Ranked.Anomalies {
+			if a.Size >= f6.Cutoff {
+				above++
+				if f6.Ranked.Detected[i] {
+					detected++
+				}
+				if f6.Ranked.Identified[i] {
+					identified++
+				}
+			} else if f6.Ranked.Detected[i] {
+				belowDetected++
+			}
+		}
+		if above == 0 {
+			t.Fatalf("%s: no anomalies above cutoff", d.Name)
+		}
+		// Above the knee, nearly everything is detected and identified.
+		if float64(detected)/float64(above) < 0.8 {
+			t.Fatalf("%s: only %d/%d above-cutoff anomalies detected", d.Name, detected, above)
+		}
+		if detected > 0 && float64(identified)/float64(detected) < 0.8 {
+			t.Fatalf("%s: only %d/%d detected anomalies identified", d.Name, identified, detected)
+		}
+		// Below the knee, detections are rare (the knee is real).
+		if float64(belowDetected) > 0.25*float64(40-above) {
+			t.Fatalf("%s: %d/%d below-cutoff entries detected", d.Name, belowDetected, 40-above)
+		}
+	}
+}
+
+func TestTable2PaperShape(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("Table 2 rows = %d want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Result.DetectionRate() < 0.75 {
+			t.Fatalf("%s/%s: detection rate %.2f below the paper's band",
+				r.Validation, r.Dataset, r.Result.DetectionRate())
+		}
+		if r.Result.FalseAlarmRate() > 0.015 {
+			t.Fatalf("%s/%s: false alarm rate %.4f above the paper's band",
+				r.Validation, r.Dataset, r.Result.FalseAlarmRate())
+		}
+		if r.Result.IdentificationRate() < 0.6 {
+			t.Fatalf("%s/%s: identification rate %.2f too low",
+				r.Validation, r.Dataset, r.Result.IdentificationRate())
+		}
+		// Quantification within the operationally-sufficient band the
+		// paper cites (its own numbers are 15-33%).
+		if r.Result.QuantErr > 0.35 {
+			t.Fatalf("%s/%s: quantification error %.2f", r.Validation, r.Dataset, r.Result.QuantErr)
+		}
+		if r.String() == "" {
+			t.Fatal("row String empty")
+		}
+	}
+}
+
+// sharedStudies caches the injection studies across Figure 7/8/9 and
+// Table 3 tests.
+var sharedStudies []InjectionStudy
+
+func studies(t *testing.T) []InjectionStudy {
+	t.Helper()
+	if sharedStudies != nil {
+		return sharedStudies
+	}
+	for _, d := range AllDatasets() {
+		s, err := NewInjectionStudy(d, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedStudies = append(sharedStudies, s)
+	}
+	return sharedStudies
+}
+
+func TestTable3PaperShape(t *testing.T) {
+	rows := Table3(studies(t))
+	if len(rows) != 6 {
+		t.Fatalf("Table 3 rows = %d", len(rows))
+	}
+	for _, r := range rows[:3] { // large injections
+		if r.Detection < 0.85 {
+			t.Fatalf("%s large: detection %.2f below paper's ~90%%", r.Network, r.Detection)
+		}
+		if r.Identification < 0.65 {
+			t.Fatalf("%s large: identification %.2f below paper's ~69-85%%", r.Network, r.Identification)
+		}
+		if r.QuantErr > 0.3 {
+			t.Fatalf("%s large: quantification error %.2f above paper's ~21%%", r.Network, r.QuantErr)
+		}
+	}
+	for _, r := range rows[3:] { // small injections
+		if r.Detection > 0.35 {
+			t.Fatalf("%s small: detection %.2f — small spikes must rarely trigger", r.Network, r.Detection)
+		}
+	}
+}
+
+func TestFigure7HistogramShape(t *testing.T) {
+	for _, s := range studies(t) {
+		f7 := Figure7(s)
+		// Large-injection histogram mass concentrates in the top bins;
+		// small-injection mass in the bottom bins.
+		lf := f7.LargeHist.Fractions()
+		sf := f7.SmallHist.Fractions()
+		if lf[len(lf)-1]+lf[len(lf)-2] < 0.6 {
+			t.Fatalf("%s: large-injection histogram not top-heavy: %v", s.Dataset, lf)
+		}
+		if sf[0]+sf[1]+sf[2] < 0.5 {
+			t.Fatalf("%s: small-injection histogram not bottom-heavy: %v", s.Dataset, sf)
+		}
+		if f7.LargeRate <= f7.SmallRate {
+			t.Fatalf("%s: large rate %.2f <= small rate %.2f", s.Dataset, f7.LargeRate, f7.SmallRate)
+		}
+	}
+}
+
+func TestFigure8RatesStableAcrossDay(t *testing.T) {
+	for _, s := range studies(t) {
+		f8 := Figure8(s)
+		if len(f8.Rates) != len(f8.Bins) {
+			t.Fatal("rate/bin length mismatch")
+		}
+		// The paper's point: detection is fairly constant over the day.
+		if f8.MaxRate-f8.MinRate > 0.35 {
+			t.Fatalf("%s: detection rate swings %.2f-%.2f across the day",
+				s.Dataset, f8.MinRate, f8.MaxRate)
+		}
+		if f8.MinRate < 0.6 {
+			t.Fatalf("%s: min rate %.2f too low for large injections", s.Dataset, f8.MinRate)
+		}
+	}
+}
+
+func TestFigure9LargeFlowsHarder(t *testing.T) {
+	for _, s := range studies(t) {
+		f9 := Figure9(s)
+		if len(f9.FlowRates) != len(f9.DetRates) {
+			t.Fatal("scatter length mismatch")
+		}
+		// The paper's effect: the largest flows detect worse than the
+		// smallest.
+		if f9.TopFlowsRate >= f9.SmallQuartileRate {
+			t.Fatalf("%s: top flows rate %.2f >= small-flow rate %.2f",
+				s.Dataset, f9.TopFlowsRate, f9.SmallQuartileRate)
+		}
+	}
+}
+
+func TestFigure10SubspaceBeatsTemporal(t *testing.T) {
+	for _, d := range AllDatasets() {
+		f10, err := Figure10(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The subspace separation must admit a clean threshold
+		// (ratio > 1) and beat both temporal filters.
+		if f10.SubspaceSeparation <= 1 {
+			t.Fatalf("%s: subspace separation %.2f <= 1", d.Name, f10.SubspaceSeparation)
+		}
+		if f10.SubspaceSeparation <= f10.FourierSeparation {
+			t.Fatalf("%s: subspace (%.2f) does not beat Fourier (%.2f)",
+				d.Name, f10.SubspaceSeparation, f10.FourierSeparation)
+		}
+		if f10.SubspaceSeparation <= f10.EWMASeparation {
+			t.Fatalf("%s: subspace (%.2f) does not beat EWMA (%.2f)",
+				d.Name, f10.SubspaceSeparation, f10.EWMASeparation)
+		}
+	}
+}
+
+func TestAblationSubspaceRank(t *testing.T) {
+	d := SprintSim1()
+	rows, err := AblationSubspaceRank(d, []int{2, 5, 10, 20}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Very large ranks absorb anomaly energy into the normal subspace:
+	// detection at rank 20 must not beat detection at the 3-sigma rank.
+	var auto, big RankAblationRow
+	for _, r := range rows {
+		if r.Rank == 5 {
+			auto = r
+		}
+		if r.Rank == 20 {
+			big = r
+		}
+	}
+	if big.Detection > auto.Detection {
+		t.Fatalf("rank 20 detection %.2f beats rank 5 %.2f", big.Detection, auto.Detection)
+	}
+}
+
+func TestAblationConfidence(t *testing.T) {
+	rows, err := AblationConfidence(SprintSim1(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Limit >= rows[1].Limit {
+		t.Fatal("99.9% limit must exceed 99.5%")
+	}
+	if rows[0].FalseAlarms < rows[1].FalseAlarms {
+		t.Fatal("lower confidence cannot have fewer false alarms")
+	}
+	if rows[1].Detection < 0.8 {
+		t.Fatalf("99.9%% detection of true anomalies = %.2f", rows[1].Detection)
+	}
+}
+
+func TestAblationEigVsSVD(t *testing.T) {
+	res, err := AblationEigVsSVD(SprintSim1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxVarianceRelDiff > 1e-6 {
+		t.Fatalf("solver variance disagreement %v", res.MaxVarianceRelDiff)
+	}
+	if res.ProjectorDiff > 1e-6 {
+		t.Fatalf("solver projector disagreement %v", res.ProjectorDiff)
+	}
+}
+
+func TestAblationIdentification(t *testing.T) {
+	res, err := AblationIdentification(SprintSim1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials == 0 || res.Agreements != res.Trials {
+		t.Fatalf("closed form disagrees with Equation (1): %d/%d", res.Agreements, res.Trials)
+	}
+	if res.MaxBytesRel > 1e-9 {
+		t.Fatalf("byte estimates diverge: %v", res.MaxBytesRel)
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 2, 1, 0, 9}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline width %d", len([]rune(s)))
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty series must render empty")
+	}
+	if got := HBar(0.5, 10); got != "#####....." {
+		t.Fatalf("HBar = %q", got)
+	}
+	if got := HBar(-1, 4); got != "...." {
+		t.Fatalf("HBar clamp = %q", got)
+	}
+	ml := MarkLine(100, []int{0, 50, 99, -5, 200}, 10)
+	if len(ml) != 10 || ml[0] != '^' || ml[5] != '^' || ml[9] != '^' {
+		t.Fatalf("MarkLine = %q", ml)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a series as a fixed-width unicode sparkline,
+// downsampling by max within each cell so that single-bin spikes stay
+// visible — essential for anomaly timeseries.
+func Sparkline(series []float64, width int) string {
+	if len(series) == 0 || width <= 0 {
+		return ""
+	}
+	if width > len(series) {
+		width = len(series)
+	}
+	cells := make([]float64, width)
+	for i := range cells {
+		lo := i * len(series) / width
+		hi := (i + 1) * len(series) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		mx := series[lo]
+		for _, v := range series[lo:hi] {
+			if v > mx {
+				mx = v
+			}
+		}
+		cells[i] = mx
+	}
+	min, max := cells[0], cells[0]
+	for _, v := range cells {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range cells {
+		idx := 0
+		if max > min {
+			idx = int(float64(len(sparkLevels)-1) * (v - min) / (max - min))
+		}
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+// HBar renders a fraction in [0,1] as a horizontal bar of the given width.
+func HBar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// MarkLine renders a width-sized line with '^' at the cells containing
+// the marked indices of a series of length n — used to show where true
+// anomalies sit under a sparkline.
+func MarkLine(n int, marks []int, width int) string {
+	if n <= 0 || width <= 0 {
+		return ""
+	}
+	if width > n {
+		width = n
+	}
+	cells := make([]byte, width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	for _, m := range marks {
+		if m < 0 || m >= n {
+			continue
+		}
+		cells[m*width/n] = '^'
+	}
+	return string(cells)
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNotSymmetric is returned by SymEig when its input is not symmetric.
+var ErrNotSymmetric = errors.New("mat: matrix is not symmetric")
+
+// ErrNoConvergence is returned when an iterative decomposition fails to
+// converge within its sweep budget. It should not occur for the matrix
+// sizes this library targets.
+var ErrNoConvergence = errors.New("mat: iteration did not converge")
+
+const (
+	jacobiMaxSweeps = 60
+	symTol          = 1e-8
+)
+
+// SymEig computes the eigendecomposition of the symmetric matrix a using
+// the cyclic Jacobi method. It returns the eigenvalues sorted in
+// descending order and a matrix whose columns are the corresponding
+// orthonormal eigenvectors, so that a = V * diag(vals) * V^T.
+//
+// Computing all principal components of the link traffic matrix Y is
+// equivalent to solving the symmetric eigenvalue problem for the
+// covariance matrix Y^T Y (Section 7.1 of the paper).
+func SymEig(a *Dense) (vals []float64, vecs *Dense, err error) {
+	n, c := a.Dims()
+	if n != c {
+		panic(fmt.Sprintf("mat: SymEig requires a square matrix, got %dx%d", n, c))
+	}
+	scale := a.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > symTol*scale {
+				return nil, nil, ErrNotSymmetric
+			}
+		}
+	}
+	w := a.Clone()
+	v := Identity(n)
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm: converged when negligible.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * w.At(i, j) * w.At(i, j)
+			}
+		}
+		if math.Sqrt(off) <= 1e-14*scale*float64(n) {
+			return extractEig(w, v)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Rotation angle per Golub & Van Loan.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cth := 1 / math.Sqrt(1+t*t)
+				sth := t * cth
+				rotateSym(w, p, q, cth, sth)
+				rotateCols(v, p, q, cth, sth)
+			}
+		}
+	}
+	return nil, nil, ErrNoConvergence
+}
+
+// rotateSym applies the Jacobi rotation J^T w J in place, where J is the
+// Givens rotation over (p,q) with cosine c and sine s.
+func rotateSym(w *Dense, p, q int, c, s float64) {
+	n := w.Rows()
+	for i := 0; i < n; i++ {
+		wip := w.At(i, p)
+		wiq := w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj := w.At(p, j)
+		wqj := w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+}
+
+// rotateCols applies the rotation to columns p,q of v (v = v*J).
+func rotateCols(v *Dense, p, q int, c, s float64) {
+	n := v.Rows()
+	for i := 0; i < n; i++ {
+		vip := v.At(i, p)
+		viq := v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func extractEig(w, v *Dense) ([]float64, *Dense, error) {
+	n := w.Rows()
+	type pair struct {
+		val float64
+		idx int
+	}
+	ps := make([]pair, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].val > ps[j].val })
+	vals := make([]float64, n)
+	vecs := Zeros(n, n)
+	for k, p := range ps {
+		vals[k] = p.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v.At(i, p.idx))
+		}
+	}
+	return vals, vecs, nil
+}

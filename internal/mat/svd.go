@@ -1,0 +1,103 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const svdMaxSweeps = 60
+
+// SVD computes the thin singular value decomposition of a (rows >= cols)
+// using the one-sided Jacobi (Hestenes) method: a = U * diag(s) * V^T with
+// U (rows x cols) having orthonormal columns where the corresponding
+// singular value is nonzero, V (cols x cols) orthogonal, and s sorted
+// descending.
+//
+// Columns of U associated with zero singular values are left as zero
+// vectors; callers that need a complete orthonormal basis must extend them.
+// The subspace method only consumes leading (nonzero) components.
+func SVD(a *Dense) (u *Dense, s []float64, v *Dense, err error) {
+	rows, cols := a.Dims()
+	if rows < cols {
+		panic(fmt.Sprintf("mat: SVD requires rows >= cols, got %dx%d", rows, cols))
+	}
+	w := a.Clone()
+	v = Identity(cols)
+	scale := w.MaxAbs()
+	if scale == 0 {
+		// Zero matrix: all singular values zero.
+		return Zeros(rows, cols), make([]float64, cols), v, nil
+	}
+	const tol = 1e-14
+	converged := false
+	for sweep := 0; sweep < svdMaxSweeps && !converged; sweep++ {
+		converged = true
+		for p := 0; p < cols-1; p++ {
+			for q := p + 1; q < cols; q++ {
+				// alpha = ||w_p||^2, beta = ||w_q||^2, gamma = w_p . w_q
+				var alpha, beta, gamma float64
+				for i := 0; i < rows; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					alpha += wp * wp
+					beta += wq * wq
+					gamma += wp * wq
+				}
+				if math.Abs(gamma) <= tol*math.Sqrt(alpha*beta) || gamma == 0 {
+					continue
+				}
+				converged = false
+				zeta := (beta - alpha) / (2 * gamma)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < rows; i++ {
+					wp := w.At(i, p)
+					wq := w.At(i, q)
+					w.Set(i, p, c*wp-sn*wq)
+					w.Set(i, q, sn*wp+c*wq)
+				}
+				rotateCols(v, p, q, c, sn)
+			}
+		}
+	}
+	if !converged {
+		return nil, nil, nil, ErrNoConvergence
+	}
+	// Extract singular values and left vectors, then sort descending.
+	type col struct {
+		sv  float64
+		idx int
+	}
+	csort := make([]col, cols)
+	for j := 0; j < cols; j++ {
+		var n2 float64
+		for i := 0; i < rows; i++ {
+			n2 += w.At(i, j) * w.At(i, j)
+		}
+		csort[j] = col{math.Sqrt(n2), j}
+	}
+	sort.Slice(csort, func(i, j int) bool { return csort[i].sv > csort[j].sv })
+	u = Zeros(rows, cols)
+	s = make([]float64, cols)
+	vOut := Zeros(cols, cols)
+	for k, cs := range csort {
+		s[k] = cs.sv
+		if cs.sv > 0 {
+			inv := 1 / cs.sv
+			for i := 0; i < rows; i++ {
+				u.Set(i, k, w.At(i, cs.idx)*inv)
+			}
+		}
+		for i := 0; i < cols; i++ {
+			vOut.Set(i, k, v.At(i, cs.idx))
+		}
+	}
+	return u, s, vOut, nil
+}

@@ -1,0 +1,110 @@
+package netmeas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+)
+
+// LinkMetricSet holds alternative per-link measurement series beyond byte
+// counts. Section 7.2 of the paper notes the subspace method applies to
+// any link metric for which the L2 norm is meaningful, naming the number
+// of IP flows per link and the average packet size; anomalies such as
+// port scans move flow counts without moving bytes.
+type LinkMetricSet struct {
+	// Bytes is the bins x links byte-count matrix (same as
+	// traffic.LinkLoads).
+	Bytes *mat.Dense
+	// FlowCounts is the bins x links count of active IP flows.
+	FlowCounts *mat.Dense
+	// MeanPacketSize is the bins x links average packet size in bytes.
+	MeanPacketSize *mat.Dense
+}
+
+// MetricConfig parameterizes the flow-count and packet-size synthesis.
+type MetricConfig struct {
+	// FlowsPerMB is the expected number of active IP flows per megabyte
+	// of OD traffic in a bin (default 40).
+	FlowsPerMB float64
+	// FlowCountNoise is the relative noise on flow counts (default 0.05).
+	FlowCountNoise float64
+	// BasePacketSize is the network-wide mean packet size in bytes
+	// (default 800).
+	BasePacketSize float64
+	// PacketSizeJitter is the relative per-(bin,link) jitter (default
+	// 0.03).
+	PacketSizeJitter float64
+	// Seed makes the synthesis deterministic.
+	Seed int64
+}
+
+func (c *MetricConfig) fillDefaults() {
+	if c.FlowsPerMB == 0 {
+		c.FlowsPerMB = 40
+	}
+	if c.FlowCountNoise == 0 {
+		c.FlowCountNoise = 0.05
+	}
+	if c.BasePacketSize == 0 {
+		c.BasePacketSize = 800
+	}
+	if c.PacketSizeJitter == 0 {
+		c.PacketSizeJitter = 0.03
+	}
+}
+
+// LinkMetrics derives the alternative metric series from OD traffic: each
+// OD flow contributes IP flows proportional to its bytes (so a volume
+// anomaly moves flow counts on its path too), and the mean packet size
+// wobbles around the base. A flow-count anomaly without a byte anomaly
+// can be injected directly into the FlowCounts matrix afterwards.
+func LinkMetrics(topo *topology.Topology, od *mat.Dense, cfg MetricConfig) (*LinkMetricSet, error) {
+	cfg.fillDefaults()
+	bins, flows := od.Dims()
+	if flows != topo.NumFlows() {
+		return nil, fmt.Errorf("netmeas: OD matrix has %d flows, topology %d", flows, topo.NumFlows())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	links := topo.NumLinks()
+	bytes := mat.Zeros(bins, links)
+	counts := mat.Zeros(bins, links)
+	mps := mat.Zeros(bins, links)
+	for b := 0; b < bins; b++ {
+		odRow := od.RowView(b)
+		byteRow := bytes.RowView(b)
+		countRow := counts.RowView(b)
+		for f, v := range odRow {
+			if v <= 0 {
+				continue
+			}
+			flowCount := v / 1e6 * cfg.FlowsPerMB
+			for _, li := range topo.Route(f) {
+				byteRow[li] += v
+				countRow[li] += flowCount
+			}
+		}
+		mpsRow := mps.RowView(b)
+		for l := 0; l < links; l++ {
+			countRow[l] = math.Max(0, countRow[l]*(1+cfg.FlowCountNoise*rng.NormFloat64()))
+			mpsRow[l] = cfg.BasePacketSize * (1 + cfg.PacketSizeJitter*rng.NormFloat64())
+		}
+	}
+	return &LinkMetricSet{Bytes: bytes, FlowCounts: counts, MeanPacketSize: mps}, nil
+}
+
+// InjectFlowCountAnomaly adds extra IP flows (without bytes) along one OD
+// flow's path at one bin — the signature of a scan or DDoS with many
+// small flows. Counts never go below zero.
+func (s *LinkMetricSet) InjectFlowCountAnomaly(topo *topology.Topology, flow, bin int, extraFlows float64) {
+	bins, _ := s.FlowCounts.Dims()
+	if bin < 0 || bin >= bins {
+		panic(fmt.Sprintf("netmeas: bin %d out of range %d", bin, bins))
+	}
+	row := s.FlowCounts.RowView(bin)
+	for _, li := range topo.Route(flow) {
+		row[li] = math.Max(0, row[li]+extraFlows)
+	}
+}

@@ -1,0 +1,115 @@
+package netmeas
+
+import (
+	"testing"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+	"netanomaly/internal/traffic"
+)
+
+func metricsFixture(t *testing.T, seed int64) (*topology.Topology, *mat.Dense, *LinkMetricSet) {
+	t.Helper()
+	topo := topology.Abilene()
+	cfg := traffic.DefaultConfig(seed)
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := gen.Generate()
+	ms, err := LinkMetrics(topo, od, MetricConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, od, ms
+}
+
+func TestLinkMetricsShapes(t *testing.T) {
+	topo, od, ms := metricsFixture(t, 61)
+	bins, _ := od.Dims()
+	for name, m := range map[string]*mat.Dense{
+		"bytes": ms.Bytes, "counts": ms.FlowCounts, "mps": ms.MeanPacketSize,
+	} {
+		r, c := m.Dims()
+		if r != bins || c != topo.NumLinks() {
+			t.Fatalf("%s dims %dx%d", name, r, c)
+		}
+	}
+}
+
+func TestLinkMetricsBytesMatchLinkLoads(t *testing.T) {
+	topo, od, ms := metricsFixture(t, 62)
+	want := traffic.LinkLoads(topo, od)
+	if !mat.EqualApprox(ms.Bytes, want, 1e-6*(1+want.MaxAbs())) {
+		t.Fatal("metric bytes disagree with traffic.LinkLoads")
+	}
+}
+
+func TestLinkMetricsCountsProportionalToBytes(t *testing.T) {
+	_, _, ms := metricsFixture(t, 63)
+	// Flow counts track bytes at ~40 flows per MB within noise.
+	bins, links := ms.Bytes.Dims()
+	for b := 0; b < bins; b += 97 {
+		for l := 0; l < links; l += 7 {
+			byteV := ms.Bytes.At(b, l)
+			if byteV < 1e6 {
+				continue
+			}
+			ratio := ms.FlowCounts.At(b, l) / (byteV / 1e6)
+			if ratio < 30 || ratio > 50 {
+				t.Fatalf("flows/MB = %v at (%d,%d)", ratio, b, l)
+			}
+		}
+	}
+}
+
+func TestLinkMetricsValidation(t *testing.T) {
+	topo := topology.Abilene()
+	if _, err := LinkMetrics(topo, mat.Zeros(4, 3), MetricConfig{}); err == nil {
+		t.Fatal("wrong flow count must error")
+	}
+}
+
+func TestInjectFlowCountAnomalyPanics(t *testing.T) {
+	topo, _, ms := metricsFixture(t, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ms.InjectFlowCountAnomaly(topo, 0, -1, 100)
+}
+
+// TestSubspaceMethodOnFlowCounts exercises the Section 7.2 claim: the
+// subspace method applies unchanged to the flow-count metric, catching a
+// scan-like anomaly that adds many flows but negligible bytes.
+func TestSubspaceMethodOnFlowCounts(t *testing.T) {
+	topo, _, ms := metricsFixture(t, 65)
+	flow := topo.FlowID(2, 9)
+	const bin = 700
+	// The scan: +40k flows on the path, no byte change.
+	ms.InjectFlowCountAnomaly(topo, flow, bin, 4e4)
+
+	// Byte-based detection must NOT fire at that bin...
+	byteDiag, err := core.NewDiagnoser(ms.Bytes, topo.RoutingMatrix(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, alarmed := byteDiag.DiagnoseAt(ms.Bytes.Row(bin)); alarmed {
+		t.Fatal("byte metric alarmed on a pure flow-count anomaly")
+	}
+
+	// ...while flow-count-based detection identifies the culprit flow.
+	countDiag, err := core.NewDiagnoser(ms.FlowCounts, topo.RoutingMatrix(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, alarmed := countDiag.DiagnoseAt(ms.FlowCounts.Row(bin))
+	if !alarmed {
+		t.Fatal("flow-count metric missed the scan anomaly")
+	}
+	if d.Flow != flow {
+		t.Fatalf("identified flow %d want %d", d.Flow, flow)
+	}
+}

@@ -1,0 +1,172 @@
+package netmeas
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+)
+
+// PrefixTable maps IPv4 destination prefixes to egress PoPs, standing in
+// for the BGP/ISIS routing tables the paper uses for egress resolution
+// (Section 3). Lookups are longest-prefix match.
+type PrefixTable struct {
+	entries []prefixEntry // sorted by mask length descending
+}
+
+type prefixEntry struct {
+	addr    uint32
+	maskLen int
+	pop     int
+}
+
+// Add registers a prefix (address and mask length) mapping to a PoP.
+func (t *PrefixTable) Add(addr uint32, maskLen, pop int) error {
+	if maskLen < 0 || maskLen > 32 {
+		return fmt.Errorf("netmeas: mask length %d out of [0,32]", maskLen)
+	}
+	if pop < 0 {
+		return fmt.Errorf("netmeas: negative PoP %d", pop)
+	}
+	t.entries = append(t.entries, prefixEntry{addr: maskAddr(addr, maskLen), maskLen: maskLen, pop: pop})
+	sort.SliceStable(t.entries, func(i, j int) bool { return t.entries[i].maskLen > t.entries[j].maskLen })
+	return nil
+}
+
+// Len returns the number of installed prefixes.
+func (t *PrefixTable) Len() int { return len(t.entries) }
+
+func maskAddr(addr uint32, maskLen int) uint32 {
+	if maskLen == 0 {
+		return 0
+	}
+	return addr &^ (1<<(32-maskLen) - 1)
+}
+
+// Lookup returns the egress PoP for the address by longest-prefix match.
+func (t *PrefixTable) Lookup(addr uint32) (pop int, ok bool) {
+	for _, e := range t.entries {
+		if maskAddr(addr, e.maskLen) == e.addr {
+			return e.pop, true
+		}
+	}
+	return 0, false
+}
+
+// UniformPrefixTable assigns prefixesPerPoP random /16 prefixes to every
+// PoP of the topology, with a deterministic layout in seed. It models a
+// routing table where customer address space is spread across the PoPs.
+func UniformPrefixTable(topo *topology.Topology, prefixesPerPoP int, seed int64) (*PrefixTable, error) {
+	if prefixesPerPoP <= 0 {
+		return nil, fmt.Errorf("netmeas: prefixesPerPoP %d <= 0", prefixesPerPoP)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &PrefixTable{}
+	used := map[uint32]bool{}
+	for pop := 0; pop < topo.NumPoPs(); pop++ {
+		for k := 0; k < prefixesPerPoP; k++ {
+			var p uint32
+			for {
+				p = uint32(rng.Intn(1<<16)) << 16 // random /16
+				if !used[p] {
+					used[p] = true
+					break
+				}
+			}
+			if err := t.Add(p, 16, pop); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// RawFlow is a prefix-level flow record as exported by a router: the
+// ingress PoP is known from the collecting router; the egress PoP must be
+// resolved from the destination address.
+type RawFlow struct {
+	IngressPoP int
+	DstAddr    uint32
+	Bin        int
+	Bytes      float64
+}
+
+// SynthesizeRawFlows explodes an OD matrix into prefix-level raw flow
+// records: each (bin, OD pair) cell is split uniformly across flowsPerOD
+// random destination prefixes belonging to the destination PoP.
+// Deterministic in seed.
+func SynthesizeRawFlows(x *mat.Dense, topo *topology.Topology, table *PrefixTable, flowsPerOD int, seed int64) ([]RawFlow, error) {
+	if flowsPerOD <= 0 {
+		return nil, fmt.Errorf("netmeas: flowsPerOD %d <= 0", flowsPerOD)
+	}
+	// Collect each PoP's prefixes for address synthesis.
+	byPoP := make([][]prefixEntry, topo.NumPoPs())
+	for _, e := range table.entries {
+		if e.pop >= len(byPoP) {
+			return nil, fmt.Errorf("netmeas: table PoP %d outside topology (%d PoPs)", e.pop, topo.NumPoPs())
+		}
+		byPoP[e.pop] = append(byPoP[e.pop], e)
+	}
+	for pop, list := range byPoP {
+		if len(list) == 0 {
+			return nil, fmt.Errorf("netmeas: PoP %d has no prefixes", pop)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bins, flows := x.Dims()
+	if flows != topo.NumFlows() {
+		return nil, fmt.Errorf("netmeas: OD matrix has %d flows, topology %d", flows, topo.NumFlows())
+	}
+	var out []RawFlow
+	for b := 0; b < bins; b++ {
+		row := x.RowView(b)
+		for f := 0; f < flows; f++ {
+			total := row[f]
+			if total <= 0 {
+				continue
+			}
+			o, d := topo.FlowEndpoints(f)
+			share := total / float64(flowsPerOD)
+			for k := 0; k < flowsPerOD; k++ {
+				pe := byPoP[d][rng.Intn(len(byPoP[d]))]
+				hostBits := 32 - pe.maskLen
+				addr := pe.addr
+				if hostBits > 0 {
+					addr |= uint32(rng.Int63n(1 << hostBits))
+				}
+				out = append(out, RawFlow{IngressPoP: o, DstAddr: addr, Bin: b, Bytes: share})
+			}
+		}
+	}
+	return out, nil
+}
+
+// AggregateOD resolves every raw flow's egress PoP through the prefix
+// table and re-aggregates the records into an OD matrix (bins x flows).
+// Records whose destination does not match any prefix are counted in
+// unresolved and excluded, mirroring the paper's treatment of
+// unresolvable traffic.
+func AggregateOD(flows []RawFlow, table *PrefixTable, topo *topology.Topology, bins int) (od *mat.Dense, unresolved int, err error) {
+	if bins <= 0 {
+		return nil, 0, fmt.Errorf("netmeas: bins %d <= 0", bins)
+	}
+	od = mat.Zeros(bins, topo.NumFlows())
+	for _, rf := range flows {
+		if rf.Bin < 0 || rf.Bin >= bins {
+			return nil, 0, fmt.Errorf("netmeas: record bin %d out of range %d", rf.Bin, bins)
+		}
+		if rf.IngressPoP < 0 || rf.IngressPoP >= topo.NumPoPs() {
+			return nil, 0, fmt.Errorf("netmeas: record ingress PoP %d out of range %d", rf.IngressPoP, topo.NumPoPs())
+		}
+		egress, ok := table.Lookup(rf.DstAddr)
+		if !ok || egress >= topo.NumPoPs() {
+			unresolved++
+			continue
+		}
+		f := topo.FlowID(rf.IngressPoP, egress)
+		od.Set(rf.Bin, f, od.At(rf.Bin, f)+rf.Bytes)
+	}
+	return od, unresolved, nil
+}

@@ -1,0 +1,49 @@
+package netmeas
+
+import (
+	"context"
+	"time"
+
+	"netanomaly/internal/mat"
+)
+
+// LinkMeasurement is one bin of link byte counts delivered by a streaming
+// collector.
+type LinkMeasurement struct {
+	Bin   int
+	Loads []float64
+}
+
+// Stream replays the rows of a link-load matrix on a channel, one
+// measurement per interval (immediately when interval is zero), closing
+// the channel after the last bin or when ctx is cancelled. It models the
+// periodic arrival of SNMP poll results feeding an online detector
+// (Section 7.1).
+func Stream(ctx context.Context, y *mat.Dense, interval time.Duration) <-chan LinkMeasurement {
+	out := make(chan LinkMeasurement)
+	go func() {
+		defer close(out)
+		var tick *time.Ticker
+		if interval > 0 {
+			tick = time.NewTicker(interval)
+			defer tick.Stop()
+		}
+		bins, _ := y.Dims()
+		for b := 0; b < bins; b++ {
+			if tick != nil {
+				select {
+				case <-tick.C:
+				case <-ctx.Done():
+					return
+				}
+			}
+			m := LinkMeasurement{Bin: b, Loads: y.Row(b)}
+			select {
+			case out <- m:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

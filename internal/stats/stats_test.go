@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) must be NaN")
+	}
+}
+
+func TestVarianceStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1: 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v want %v", got, want)
+	}
+	if got := Std(x); math.Abs(got-math.Sqrt(want)) > 1e-12 {
+		t.Fatalf("Std = %v", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of singleton must be 0")
+	}
+}
+
+func TestVarianceShiftInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		shift := rng.NormFloat64() * 100
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = x[i] + shift
+		}
+		return math.Abs(Variance(x)-Variance(y)) < 1e-8*(1+Variance(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s := MeanStd([]float64{1, 3})
+	if m != 2 || math.Abs(s-math.Sqrt2) > 1e-12 {
+		t.Fatalf("MeanStd = %v,%v", m, s)
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("Median even = %v", got)
+	}
+	x := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(x, 0); got != 10 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := Percentile(x, 100); got != 50 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := Percentile(x, 25); got != 20 {
+		t.Fatalf("P25 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Fatalf("singleton percentile = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("empty percentile must be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	x := []float64{3, 1, 2}
+	Percentile(x, 50)
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Fatal("Percentile must not sort the caller's slice")
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("MinMax(nil) must be NaN,NaN")
+	}
+}
+
+func TestMeanAbsRelError(t *testing.T) {
+	got := MeanAbsRelError([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MARE = %v want 0.1", got)
+	}
+	// Zero-truth entries are skipped.
+	got = MeanAbsRelError([]float64{110, 5}, []float64{100, 0})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MARE with zero truth = %v want 0.1", got)
+	}
+	if !math.IsNaN(MeanAbsRelError([]float64{1}, []float64{0})) {
+		t.Fatal("all-zero truth must yield NaN")
+	}
+}
+
+func TestNormalPDF(t *testing.T) {
+	if got := NormalPDF(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-15 {
+		t.Fatalf("NormalPDF(0) = %v", got)
+	}
+	if NormalPDF(3) >= NormalPDF(0) {
+		t.Fatal("PDF must decrease away from 0")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{2.5758293035489004, 0.995},
+		{3.0902323061678132, 0.999},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("NormalCDF(%v) = %v want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Float64()*0.998 + 0.001
+		z := NormalQuantile(p)
+		return math.Abs(NormalCDF(z)-p) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.999, 3.0902323061678132},
+		{0.9995, 3.2905267314918945},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("NormalQuantile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileTails(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("endpoints must map to infinities")
+	}
+	if z := NormalQuantile(1e-10); z > -6 {
+		t.Fatalf("deep left tail %v not negative enough", z)
+	}
+}
+
+func TestNormalQuantileSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := rng.Float64()*0.498 + 0.001
+		return math.Abs(NormalQuantile(p)+NormalQuantile(1-p)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NormalQuantile(-0.1)
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	h.AddAll([]float64{0.05, 0.15, 0.15, 0.95})
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[9] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	h.Add(-0.5)
+	h.Add(1.5)
+	h.Add(1.0) // exactly max lands in last bin
+	if h.Counts[0] != 1 || h.Counts[3] != 2 {
+		t.Fatalf("clamping wrong: %v", h.Counts)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("BinCenter(0) = %v", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("BinCenter(4) = %v", got)
+	}
+}
+
+func TestHistogramFractions(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if f := h.Fractions(); f[0] != 0 || f[1] != 0 {
+		t.Fatal("empty histogram fractions must be zero")
+	}
+	h.Add(0.25)
+	h.Add(0.75)
+	h.Add(0.8)
+	f := h.Fractions()
+	if math.Abs(f[0]-1.0/3) > 1e-12 || math.Abs(f[1]-2.0/3) > 1e-12 {
+		t.Fatalf("fractions = %v", f)
+	}
+}
+
+func TestHistogramInvalidConstruction(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

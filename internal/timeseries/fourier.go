@@ -1,0 +1,76 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+
+	"netanomaly/internal/mat"
+)
+
+// DefaultPeriodsHours are the eight periods of the paper's Fourier basis
+// (Section 6.2): 7 days, 5 days, 3 days, 24 h, 12 h, 6 h, 3 h, 1.5 h.
+var DefaultPeriodsHours = []float64{168, 120, 72, 24, 12, 6, 3, 1.5}
+
+// FourierModel approximates a timeseries as a weighted sum of sinusoids at
+// fixed periods plus a constant, fit by least squares.
+type FourierModel struct {
+	// PeriodsHours lists the basis periods in hours.
+	PeriodsHours []float64
+	// BinHours is the duration of one sample bin in hours (paper: 1/6 h).
+	BinHours float64
+}
+
+// NewFourierModel returns a model over the paper's default periods for the
+// given bin duration in hours.
+func NewFourierModel(binHours float64) *FourierModel {
+	return &FourierModel{PeriodsHours: DefaultPeriodsHours, BinHours: binHours}
+}
+
+// designMatrix builds the t x (2p+1) regression matrix: a constant column
+// plus sin/cos pairs for each period.
+func (f *FourierModel) designMatrix(n int) *mat.Dense {
+	if f.BinHours <= 0 {
+		panic(fmt.Sprintf("timeseries: FourierModel bin duration %v <= 0", f.BinHours))
+	}
+	p := len(f.PeriodsHours)
+	d := mat.Zeros(n, 2*p+1)
+	for t := 0; t < n; t++ {
+		row := d.RowView(t)
+		row[0] = 1
+		hours := float64(t) * f.BinHours
+		for k, period := range f.PeriodsHours {
+			w := 2 * math.Pi * hours / period
+			row[1+2*k] = math.Sin(w)
+			row[2+2*k] = math.Cos(w)
+		}
+	}
+	return d
+}
+
+// Fit returns the least-squares approximation of z in the Fourier basis.
+// This is the paper's modeled value zhat; anomalies are |z - zhat|.
+func (f *FourierModel) Fit(z []float64) ([]float64, error) {
+	n := len(z)
+	if n == 0 {
+		return nil, nil
+	}
+	d := f.designMatrix(n)
+	coef, err := mat.SolveLS(d, z)
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: fourier fit: %w", err)
+	}
+	return mat.MulVec(d, coef), nil
+}
+
+// Residuals returns |z - Fit(z)|.
+func (f *FourierModel) Residuals(z []float64) ([]float64, error) {
+	fit, err := f.Fit(z)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(z))
+	for t := range z {
+		out[t] = math.Abs(z[t] - fit[t])
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package timeseries
+
+import "sort"
+
+// Spike is a point anomaly in a single timeseries: a residual at bin T of
+// magnitude Size (bytes, for OD-flow series).
+type Spike struct {
+	T    int
+	Size float64
+}
+
+// ExtractSpikes returns the bins whose residual magnitude meets or exceeds
+// cutoff, in time order.
+func ExtractSpikes(resid []float64, cutoff float64) []Spike {
+	var out []Spike
+	for t, r := range resid {
+		if r >= cutoff {
+			out = append(out, Spike{T: t, Size: r})
+		}
+	}
+	return out
+}
+
+// TopSpikes returns the k largest residuals as spikes, ordered by
+// decreasing size. If fewer than k bins exist, all are returned.
+func TopSpikes(resid []float64, k int) []Spike {
+	all := make([]Spike, len(resid))
+	for t, r := range resid {
+		all[t] = Spike{T: t, Size: r}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Size > all[j].Size })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// KneeIndex locates the knee in a rank-ordered (descending) size sequence
+// using the maximum-distance-to-chord rule: the index whose point is
+// farthest from the straight line joining the first and last points.
+// The paper reads the anomaly-size cutoff off exactly such a knee in the
+// rank-order plots of Figure 6. It returns 0 for sequences shorter than 3.
+func KneeIndex(sortedDesc []float64) int {
+	n := len(sortedDesc)
+	if n < 3 {
+		return 0
+	}
+	x1, y1 := 0.0, sortedDesc[0]
+	x2, y2 := float64(n-1), sortedDesc[n-1]
+	dx, dy := x2-x1, y2-y1
+	best, bestDist := 0, -1.0
+	for i := 0; i < n; i++ {
+		// Unnormalized distance from (i, v) to the chord; the constant
+		// denominator does not change the argmax.
+		d := dx*(y1-sortedDesc[i]) - dy*(x1-float64(i))
+		if d < 0 {
+			d = -d
+		}
+		if d > bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,160 @@
+// Package tomo implements traffic matrix estimation from link loads —
+// the network tomography problem y = Ax the paper contrasts with its
+// identification step (Section 8, citing Vardi and the tomogravity line
+// of work). Estimating all OD intensities from link data is much harder
+// than deciding which single flow changed; this package provides the
+// classical gravity and tomogravity estimators both as a substrate (the
+// paper's own datasets were built with the methodology of Zhang et al.)
+// and as a baseline: anomaly sizing read off per-bin traffic matrix
+// estimates is far less accurate than the subspace quantification, which
+// the comparison experiment demonstrates.
+package tomo
+
+import (
+	"fmt"
+	"math"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+)
+
+// GravityEstimate returns the gravity-model traffic matrix for one link
+// load vector: each PoP's total origin (destination) traffic is read off
+// its access links, and flow o->d gets share in(o)*out(d)/total. With
+// intra-PoP links present, a PoP's originating traffic is approximated by
+// the total traffic on links leaving it.
+func GravityEstimate(topo *topology.Topology, y []float64) []float64 {
+	if len(y) != topo.NumLinks() {
+		panic(fmt.Sprintf("tomo: load vector has %d links, topology %d", len(y), topo.NumLinks()))
+	}
+	p := topo.NumPoPs()
+	out := make([]float64, p) // traffic leaving PoP (origin proxy)
+	in := make([]float64, p)  // traffic entering PoP (destination proxy)
+	for _, l := range topo.Links() {
+		v := y[l.ID]
+		if l.Intra() {
+			out[l.Src] += v
+			in[l.Dst] += v
+			continue
+		}
+		out[l.Src] += v
+		in[l.Dst] += v
+	}
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	x := make([]float64, topo.NumFlows())
+	if total == 0 {
+		return x
+	}
+	for o := 0; o < p; o++ {
+		for d := 0; d < p; d++ {
+			x[topo.FlowID(o, d)] = out[o] * in[d] / total
+		}
+	}
+	return x
+}
+
+// Tomogravity refines a gravity prior to satisfy the link constraints
+// y = Ax in the least-squares sense: it minimizes ||x - g||^2 (weighted
+// by the prior) subject to staying consistent with the observed loads,
+// via the normal-equations correction
+//
+//	x = g + W A^T (A W A^T)^+ (y - A g)
+//
+// with W = diag(g) (larger flows absorb more correction), following the
+// weighted least-squares form of Zhang et al. Negative entries are
+// clipped to zero. The routing matrix a must match the topology that
+// produced y.
+type Tomogravity struct {
+	topo *topology.Topology
+	a    *mat.Dense
+}
+
+// NewTomogravity precomputes the routing matrix for the topology.
+func NewTomogravity(topo *topology.Topology) *Tomogravity {
+	return &Tomogravity{topo: topo, a: topo.RoutingMatrix()}
+}
+
+// Estimate returns the tomogravity traffic matrix for one link load
+// vector.
+func (t *Tomogravity) Estimate(y []float64) ([]float64, error) {
+	links, flows := t.a.Dims()
+	if len(y) != links {
+		return nil, fmt.Errorf("tomo: load vector has %d links, routing %d", len(y), links)
+	}
+	g := GravityEstimate(t.topo, y)
+	// Residual of the prior against the observations.
+	resid := mat.SubVec(y, mat.MulVec(t.a, g))
+	// M = A W A^T (links x links), W = diag(g) with a floor so zero-prior
+	// flows can still absorb correction.
+	floor := 0.0
+	for _, v := range g {
+		floor += v
+	}
+	floor = math.Max(floor*1e-6/float64(flows), 1e-9)
+	m := mat.Zeros(links, links)
+	for f := 0; f < flows; f++ {
+		w := g[f]
+		if w < floor {
+			w = floor
+		}
+		route := t.topo.Route(f)
+		for _, li := range route {
+			for _, lj := range route {
+				m.Set(li, lj, m.At(li, lj)+w)
+			}
+		}
+	}
+	// Solve M z = resid; ridge-regularize for rank deficiency.
+	ridge := 1e-9 * (1 + m.MaxAbs())
+	for i := 0; i < links; i++ {
+		m.Set(i, i, m.At(i, i)+ridge)
+	}
+	z, err := mat.Solve(m, resid)
+	if err != nil {
+		return nil, fmt.Errorf("tomo: constraint solve: %w", err)
+	}
+	// x = g + W A^T z
+	x := mat.CloneVec(g)
+	atz := mat.MulTVec(t.a, z)
+	for f := 0; f < flows; f++ {
+		w := g[f]
+		if w < floor {
+			w = floor
+		}
+		x[f] += w * atz[f]
+		if x[f] < 0 {
+			x[f] = 0
+		}
+	}
+	return x, nil
+}
+
+// EstimateMatrix runs Estimate on every row of a link-load matrix,
+// returning the bins x flows estimated traffic matrix.
+func (t *Tomogravity) EstimateMatrix(y *mat.Dense) (*mat.Dense, error) {
+	bins, _ := y.Dims()
+	out := mat.Zeros(bins, t.topo.NumFlows())
+	for b := 0; b < bins; b++ {
+		x, err := t.Estimate(y.RowView(b))
+		if err != nil {
+			return nil, fmt.Errorf("tomo: bin %d: %w", b, err)
+		}
+		out.SetRow(b, x)
+	}
+	return out, nil
+}
+
+// LinkError returns the relative residual ||A x - y|| / ||y|| of an
+// estimate — tomogravity should satisfy the link constraints almost
+// exactly.
+func (t *Tomogravity) LinkError(x, y []float64) float64 {
+	resid := mat.SubVec(mat.MulVec(t.a, x), y)
+	n := mat.Norm2(y)
+	if n == 0 {
+		return 0
+	}
+	return mat.Norm2(resid) / n
+}

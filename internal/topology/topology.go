@@ -1,0 +1,280 @@
+// Package topology models backbone networks at the PoP level: nodes
+// (Points of Presence), directed links between them, intra-PoP links for
+// traffic entering and exiting at the same PoP, shortest-path routing, and
+// the routing matrix A that connects OD-flow traffic x to link traffic
+// y = Ax (Section 4.1 of the paper).
+//
+// Presets reproduce the two networks of the paper's Figure 2 and Table 1:
+// Abilene (11 PoPs, 41 links including 11 intra-PoP) and Sprint-Europe
+// (13 PoPs, 49 links including 13 intra-PoP).
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"netanomaly/internal/mat"
+)
+
+// PoP is a Point of Presence, a node in the backbone.
+type PoP struct {
+	ID   int
+	Name string
+}
+
+// Link is a directed link. Intra-PoP links (used by OD flows whose origin
+// and destination coincide) have Src == Dst.
+type Link struct {
+	ID       int
+	Src, Dst int
+}
+
+// Intra reports whether the link is an intra-PoP link.
+func (l Link) Intra() bool { return l.Src == l.Dst }
+
+// Topology is an immutable PoP-level network with precomputed routing.
+// Build one with a Builder or a preset constructor.
+type Topology struct {
+	name  string
+	pops  []PoP
+	links []Link
+	// linkIndex[src][dst] is the link ID for the directed edge src->dst,
+	// or -1 when absent.
+	linkIndex [][]int
+	// routes[origin][destination] is the ordered list of link IDs an OD
+	// flow traverses.
+	routes [][][]int
+}
+
+// Builder accumulates PoPs and links and produces a routed Topology.
+type Builder struct {
+	name    string
+	pops    []PoP
+	byName  map[string]int
+	edges   map[[2]int]bool
+	withIn  bool
+	buildEr error
+}
+
+// NewBuilder returns a Builder for a network with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]int), edges: make(map[[2]int]bool), withIn: true}
+}
+
+// WithoutIntraPoPLinks disables the automatic creation of one intra-PoP
+// link per PoP. The paper's link counts include them (Table 1, footnote 2),
+// so they are on by default.
+func (b *Builder) WithoutIntraPoPLinks() *Builder {
+	b.withIn = false
+	return b
+}
+
+// AddPoP adds a named PoP and returns its ID. Duplicate names are an error
+// reported at Build time.
+func (b *Builder) AddPoP(name string) int {
+	if _, dup := b.byName[name]; dup {
+		b.buildEr = errors.Join(b.buildEr, fmt.Errorf("topology: duplicate PoP %q", name))
+		return -1
+	}
+	id := len(b.pops)
+	b.pops = append(b.pops, PoP{ID: id, Name: name})
+	b.byName[name] = id
+	return id
+}
+
+// AddDuplex adds the pair of directed links a<->b, identified by PoP name.
+// Unknown names or self-edges are errors reported at Build time.
+func (b *Builder) AddDuplex(a, bName string) *Builder {
+	ai, ok1 := b.byName[a]
+	bi, ok2 := b.byName[bName]
+	if !ok1 || !ok2 {
+		b.buildEr = errors.Join(b.buildEr, fmt.Errorf("topology: AddDuplex unknown PoP in (%q,%q)", a, bName))
+		return b
+	}
+	if ai == bi {
+		b.buildEr = errors.Join(b.buildEr, fmt.Errorf("topology: AddDuplex self edge %q", a))
+		return b
+	}
+	b.edges[[2]int{ai, bi}] = true
+	b.edges[[2]int{bi, ai}] = true
+	return b
+}
+
+// Build validates the accumulated network, computes shortest-path routes
+// for every OD pair, and returns the immutable Topology. The network must
+// be strongly connected (every PoP reachable from every other).
+func (b *Builder) Build() (*Topology, error) {
+	if b.buildEr != nil {
+		return nil, b.buildEr
+	}
+	n := len(b.pops)
+	if n == 0 {
+		return nil, errors.New("topology: no PoPs")
+	}
+	t := &Topology{name: b.name, pops: append([]PoP(nil), b.pops...)}
+	t.linkIndex = make([][]int, n)
+	for i := range t.linkIndex {
+		t.linkIndex[i] = make([]int, n)
+		for j := range t.linkIndex[i] {
+			t.linkIndex[i][j] = -1
+		}
+	}
+	// Deterministic link ordering: intra-PoP links first (by PoP ID), then
+	// inter-PoP links sorted by (src, dst).
+	if b.withIn {
+		for i := 0; i < n; i++ {
+			t.addLink(i, i)
+		}
+	}
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src != dst && b.edges[[2]int{src, dst}] {
+				t.addLink(src, dst)
+			}
+		}
+	}
+	if err := t.computeRoutes(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Topology) addLink(src, dst int) {
+	id := len(t.links)
+	t.links = append(t.links, Link{ID: id, Src: src, Dst: dst})
+	t.linkIndex[src][dst] = id
+}
+
+// computeRoutes fills t.routes with the shortest path (in hops) for every
+// OD pair, breaking ties deterministically by preferring lower PoP IDs
+// earlier on the path (single-path routing, as in the paper's use of a
+// routing table snapshot).
+func (t *Topology) computeRoutes() error {
+	n := len(t.pops)
+	t.routes = make([][][]int, n)
+	for origin := 0; origin < n; origin++ {
+		t.routes[origin] = make([][]int, n)
+		// BFS from origin with deterministic neighbour order.
+		prev := make([]int, n)
+		dist := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+			dist[i] = -1
+		}
+		dist[origin] = 0
+		queue := []int{origin}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if v == u || t.linkIndex[u][v] < 0 {
+					continue
+				}
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					prev[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == origin {
+				li := t.linkIndex[origin][origin]
+				if li >= 0 {
+					t.routes[origin][dst] = []int{li}
+				} else {
+					t.routes[origin][dst] = []int{}
+				}
+				continue
+			}
+			if dist[dst] < 0 {
+				return fmt.Errorf("topology: %s is not connected: no path %s -> %s",
+					t.name, t.pops[origin].Name, t.pops[dst].Name)
+			}
+			// Walk back from dst to origin.
+			var rev []int
+			for v := dst; v != origin; v = prev[v] {
+				rev = append(rev, t.linkIndex[prev[v]][v])
+			}
+			path := make([]int, len(rev))
+			for i, id := range rev {
+				path[len(rev)-1-i] = id
+			}
+			t.routes[origin][dst] = path
+		}
+	}
+	return nil
+}
+
+// Name returns the network's name.
+func (t *Topology) Name() string { return t.name }
+
+// NumPoPs returns the number of PoPs.
+func (t *Topology) NumPoPs() int { return len(t.pops) }
+
+// NumLinks returns the number of directed links, including intra-PoP links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// NumFlows returns the number of OD flows, (#PoPs)^2.
+func (t *Topology) NumFlows() int { return len(t.pops) * len(t.pops) }
+
+// PoPs returns a copy of the PoP list.
+func (t *Topology) PoPs() []PoP { return append([]PoP(nil), t.pops...) }
+
+// Links returns a copy of the link list.
+func (t *Topology) Links() []Link { return append([]Link(nil), t.links...) }
+
+// PoPByName returns the PoP with the given name.
+func (t *Topology) PoPByName(name string) (PoP, bool) {
+	for _, p := range t.pops {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PoP{}, false
+}
+
+// FlowID returns the OD-flow index for the origin and destination PoP IDs.
+// Flows are ordered origin-major: flow = origin*NumPoPs + destination.
+func (t *Topology) FlowID(origin, dst int) int {
+	n := len(t.pops)
+	if origin < 0 || origin >= n || dst < 0 || dst >= n {
+		panic(fmt.Sprintf("topology: FlowID (%d,%d) out of range for %d PoPs", origin, dst, n))
+	}
+	return origin*n + dst
+}
+
+// FlowEndpoints inverts FlowID.
+func (t *Topology) FlowEndpoints(flow int) (origin, dst int) {
+	n := len(t.pops)
+	if flow < 0 || flow >= n*n {
+		panic(fmt.Sprintf("topology: flow %d out of range %d", flow, n*n))
+	}
+	return flow / n, flow % n
+}
+
+// FlowName renders a flow as "origin->destination".
+func (t *Topology) FlowName(flow int) string {
+	o, d := t.FlowEndpoints(flow)
+	return t.pops[o].Name + "->" + t.pops[d].Name
+}
+
+// Route returns the link IDs traversed by the given OD flow, in path order.
+// The returned slice must not be modified.
+func (t *Topology) Route(flow int) []int {
+	o, d := t.FlowEndpoints(flow)
+	return t.routes[o][d]
+}
+
+// RoutingMatrix returns the (#links x #flows) matrix A with A[i][j] = 1
+// when OD flow j traverses link i (Section 4.1). The matrix is freshly
+// allocated on each call.
+func (t *Topology) RoutingMatrix() *mat.Dense {
+	a := mat.Zeros(len(t.links), t.NumFlows())
+	for f := 0; f < t.NumFlows(); f++ {
+		for _, li := range t.Route(f) {
+			a.Set(li, f, 1)
+		}
+	}
+	return a
+}

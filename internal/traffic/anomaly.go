@@ -1,0 +1,66 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+)
+
+// Anomaly is a volume anomaly: a sudden change (positive or negative) of
+// Delta bytes in OD flow Flow during bin Bin (Section 2).
+type Anomaly struct {
+	Flow int
+	Bin  int
+	// Delta is the byte change; negative values model traffic loss.
+	Delta float64
+}
+
+// Inject adds the anomalies to x in place. Flow traffic never goes below
+// zero: a negative spike larger than the flow's traffic clips at zero.
+func Inject(x *mat.Dense, anomalies []Anomaly) {
+	t, n := x.Dims()
+	for _, a := range anomalies {
+		if a.Bin < 0 || a.Bin >= t || a.Flow < 0 || a.Flow >= n {
+			panic(fmt.Sprintf("traffic: anomaly (flow %d, bin %d) out of range %dx%d", a.Flow, a.Bin, t, n))
+		}
+		v := x.At(a.Bin, a.Flow) + a.Delta
+		if v < 0 {
+			v = 0
+		}
+		x.Set(a.Bin, a.Flow, v)
+	}
+}
+
+// WithAnomalies returns a copy of x with the anomalies injected.
+func WithAnomalies(x *mat.Dense, anomalies []Anomaly) *mat.Dense {
+	out := x.Clone()
+	Inject(out, anomalies)
+	return out
+}
+
+// RandomAnomalies draws count anomalies uniformly over flows and bins,
+// with sizes uniform in [minSize, maxSize]. At most one anomaly is placed
+// per bin so that ground truth stays unambiguous (the paper's datasets
+// likewise treat each anomalous timestep as a single event). Deterministic
+// in seed. It panics if count exceeds the number of bins.
+func RandomAnomalies(topo *topology.Topology, bins, count int, minSize, maxSize float64, seed int64) []Anomaly {
+	if count > bins {
+		panic(fmt.Sprintf("traffic: cannot place %d anomalies in %d bins", count, bins))
+	}
+	if minSize > maxSize {
+		panic(fmt.Sprintf("traffic: size range [%v,%v] invalid", minSize, maxSize))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	binPerm := rng.Perm(bins)
+	out := make([]Anomaly, count)
+	for i := 0; i < count; i++ {
+		out[i] = Anomaly{
+			Flow:  rng.Intn(topo.NumFlows()),
+			Bin:   binPerm[i],
+			Delta: minSize + rng.Float64()*(maxSize-minSize),
+		}
+	}
+	return out
+}

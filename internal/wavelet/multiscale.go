@@ -1,0 +1,97 @@
+package wavelet
+
+import (
+	"fmt"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+)
+
+// ScaleDetection is one anomalous region found at one timescale.
+type ScaleDetection struct {
+	// Level is the wavelet scale (0 = 2-bin features, 1 = 4-bin, ...).
+	Level int
+	// CoefBin is the index in detail-coefficient time.
+	CoefBin int
+	// BinStart and BinEnd delimit the original-time region [start, end).
+	BinStart, BinEnd int
+	// SPE and Threshold are the subspace statistics at that scale.
+	SPE, Threshold float64
+}
+
+// MultiscaleDetector applies the subspace method independently to the
+// wavelet detail coefficients of the link measurements at several scales
+// (Section 7.3: "it is possible to use the subspace method across
+// multiple time scales by applying PCA to the wavelet transform of
+// measured data; in principle, such a method can allow the detection of
+// anomalies at all timescales").
+type MultiscaleDetector struct {
+	levels     int
+	confidence float64
+	detectors  []*core.Detector
+}
+
+// NewMultiscaleDetector fits one subspace model per scale on the detail
+// matrices of y (bins x links). bins must be divisible by 2^levels, and
+// each scale must retain at least as many coefficient rows as links.
+func NewMultiscaleDetector(y *mat.Dense, levels int, confidence float64) (*MultiscaleDetector, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("wavelet: levels %d < 1", levels)
+	}
+	bins, links := y.Dims()
+	md := &MultiscaleDetector{levels: levels, confidence: confidence}
+	for k := 0; k < levels; k++ {
+		rows := bins >> (k + 1)
+		if rows < links {
+			return nil, fmt.Errorf("wavelet: scale %d has %d coefficient rows for %d links", k, rows, links)
+		}
+		dm, err := DetailMatrix(y, k)
+		if err != nil {
+			return nil, err
+		}
+		pca, err := core.Fit(dm)
+		if err != nil {
+			return nil, fmt.Errorf("wavelet: scale %d PCA: %w", k, err)
+		}
+		model, err := core.Build(pca, core.SeparateAxes(pca, core.DefaultSigma))
+		if err != nil {
+			return nil, fmt.Errorf("wavelet: scale %d model: %w", k, err)
+		}
+		det, err := core.NewDetector(model, confidence)
+		if err != nil {
+			return nil, fmt.Errorf("wavelet: scale %d detector: %w", k, err)
+		}
+		md.detectors = append(md.detectors, det)
+	}
+	return md, nil
+}
+
+// Levels returns the number of fitted scales.
+func (md *MultiscaleDetector) Levels() int { return md.levels }
+
+// Detect scans the measurement matrix at every fitted scale and returns
+// all anomalous regions, finest scale first.
+func (md *MultiscaleDetector) Detect(y *mat.Dense) ([]ScaleDetection, error) {
+	var out []ScaleDetection
+	for k, det := range md.detectors {
+		dm, err := DetailMatrix(y, k)
+		if err != nil {
+			return nil, err
+		}
+		span := 1 << (k + 1)
+		for _, d := range det.DetectSeries(dm) {
+			if !d.Alarm {
+				continue
+			}
+			out = append(out, ScaleDetection{
+				Level:     k,
+				CoefBin:   d.Bin,
+				BinStart:  d.Bin * span,
+				BinEnd:    (d.Bin + 1) * span,
+				SPE:       d.SPE,
+				Threshold: d.Threshold,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package netanomaly
+
+import (
+	"fmt"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+	"netanomaly/internal/traffic"
+)
+
+// Topology is a PoP-level network with routing. Build one with
+// NewTopologyBuilder or use the Abilene / SprintEurope / Synthetic
+// presets.
+type Topology = topology.Topology
+
+// TopologyBuilder accumulates PoPs and duplex links.
+type TopologyBuilder = topology.Builder
+
+// PoP is a point of presence (node).
+type PoP = topology.PoP
+
+// Link is a directed link; intra-PoP links have Src == Dst.
+type Link = topology.Link
+
+// NewTopologyBuilder starts a topology definition.
+func NewTopologyBuilder(name string) *TopologyBuilder { return topology.NewBuilder(name) }
+
+// Abilene returns the 11-PoP Internet2 backbone of the paper (41 links).
+func Abilene() *Topology { return topology.Abilene() }
+
+// SprintEurope returns the 13-PoP European tier-1 backbone of the paper
+// (49 links).
+func SprintEurope() *Topology { return topology.SprintEurope() }
+
+// SyntheticTopology returns a random connected topology with n PoPs and
+// the given number of duplex edges, deterministic in seed.
+func SyntheticTopology(n, edges int, seed int64) *Topology {
+	return topology.Synthetic(n, edges, seed)
+}
+
+// Matrix is a dense row-major matrix of float64. Measurement matrices are
+// bins x links; OD matrices are bins x flows.
+type Matrix = mat.Dense
+
+// NewMatrix returns a rows x cols matrix backed by data (nil allocates
+// zeros).
+func NewMatrix(rows, cols int, data []float64) *Matrix {
+	return mat.NewDense(rows, cols, data)
+}
+
+// TrafficConfig parameterizes the synthetic OD-flow generator.
+type TrafficConfig = traffic.Config
+
+// DefaultTrafficConfig returns the paper-scale generator configuration:
+// one week of ten-minute bins with diurnal and weekly structure.
+func DefaultTrafficConfig(seed int64) TrafficConfig { return traffic.DefaultConfig(seed) }
+
+// GenerateTraffic produces a bins x flows OD traffic matrix for the
+// topology.
+func GenerateTraffic(topo *Topology, cfg TrafficConfig) (*Matrix, error) {
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate(), nil
+}
+
+// LinkLoads converts OD traffic to link loads through the topology's
+// routing: y = Ax per bin.
+func LinkLoads(topo *Topology, od *Matrix) *Matrix { return traffic.LinkLoads(topo, od) }
+
+// Anomaly is a volume anomaly: Delta bytes added to (or, if negative,
+// removed from) OD flow Flow at bin Bin.
+type Anomaly = traffic.Anomaly
+
+// InjectAnomalies adds the anomalies to the OD matrix in place.
+func InjectAnomalies(od *Matrix, anomalies []Anomaly) { traffic.Inject(od, anomalies) }
+
+// Options configure the diagnosis pipeline. The zero value gives the
+// paper's defaults: 3-sigma subspace separation and a 99.9% confidence
+// detection threshold.
+type Options = core.Options
+
+// Diagnosis is a detected, identified and quantified volume anomaly.
+type Diagnosis = core.Diagnosis
+
+// Diagnoser runs the subspace method's three steps over link
+// measurements.
+type Diagnoser = core.Diagnoser
+
+// NewDiagnoser fits the subspace model on the measurement matrix
+// (bins x links) for the given topology.
+func NewDiagnoser(links *Matrix, topo *Topology, opts Options) (*Diagnoser, error) {
+	_, m := links.Dims()
+	if m != topo.NumLinks() {
+		return nil, fmt.Errorf("netanomaly: measurements have %d links, topology has %d", m, topo.NumLinks())
+	}
+	return core.NewDiagnoser(links, topo.RoutingMatrix(), opts)
+}
+
+// OnlineDetector applies the method to a live measurement stream,
+// refitting its model periodically (Section 7.1 of the paper).
+type OnlineDetector = core.OnlineDetector
+
+// OnlineConfig configures NewOnlineDetector.
+type OnlineConfig = core.OnlineConfig
+
+// Alarm is an anomaly raised by the online detector.
+type Alarm = core.Alarm
+
+// NewOnlineDetector fits an initial model on history (bins x links) and
+// returns a streaming detector for the topology.
+func NewOnlineDetector(history *Matrix, topo *Topology, cfg OnlineConfig) (*OnlineDetector, error) {
+	_, m := history.Dims()
+	if m != topo.NumLinks() {
+		return nil, fmt.Errorf("netanomaly: history has %d links, topology has %d", m, topo.NumLinks())
+	}
+	return core.NewOnlineDetector(history, topo.RoutingMatrix(), cfg)
+}
+
+// MultiFlowCandidates builds the candidate sets for multi-flow anomaly
+// identification (Section 7.2): one candidate per destination PoP,
+// containing all flows converging on it — the natural hypothesis set for
+// DDoS-style anomalies.
+func MultiFlowCandidates(topo *Topology) [][]int {
+	p := topo.NumPoPs()
+	out := make([][]int, p)
+	for dst := 0; dst < p; dst++ {
+		for org := 0; org < p; org++ {
+			if org == dst {
+				continue
+			}
+			out[dst] = append(out[dst], topo.FlowID(org, dst))
+		}
+	}
+	return out
+}

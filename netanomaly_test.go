@@ -1,0 +1,204 @@
+package netanomaly_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netanomaly"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	topo := netanomaly.Abilene()
+	cfg := netanomaly.DefaultTrafficConfig(42)
+	od, err := netanomaly.GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := topo.FlowID(2, 7)
+	netanomaly.InjectAnomalies(od, []netanomaly.Anomaly{{Flow: flow, Bin: 500, Delta: 9e7}})
+	links := netanomaly.LinkLoads(topo, od)
+	diag, err := netanomaly.NewDiagnoser(links, topo, netanomaly.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range diag.DiagnoseSeries(links) {
+		if a.Bin == 500 {
+			found = true
+			if a.Flow != flow {
+				t.Fatalf("identified flow %d want %d", a.Flow, flow)
+			}
+			if math.Abs(a.Bytes-9e7)/9e7 > 0.3 {
+				t.Fatalf("quantified %v want ~9e7", a.Bytes)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("quickstart anomaly not diagnosed")
+	}
+}
+
+func TestNewDiagnoserDimensionCheck(t *testing.T) {
+	topo := netanomaly.Abilene()
+	if _, err := netanomaly.NewDiagnoser(netanomaly.NewMatrix(10, 3, nil), topo, netanomaly.Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestNewOnlineDetectorDimensionCheck(t *testing.T) {
+	topo := netanomaly.Abilene()
+	if _, err := netanomaly.NewOnlineDetector(netanomaly.NewMatrix(10, 3, nil), topo, netanomaly.OnlineConfig{Window: 5}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSyntheticTopologyExported(t *testing.T) {
+	topo := netanomaly.SyntheticTopology(6, 8, 3)
+	if topo.NumPoPs() != 6 || topo.NumLinks() != 6+16 {
+		t.Fatalf("synthetic topology dims: %d PoPs %d links", topo.NumPoPs(), topo.NumLinks())
+	}
+}
+
+func TestTopologyBuilderExported(t *testing.T) {
+	b := netanomaly.NewTopologyBuilder("tiny")
+	b.AddPoP("a")
+	b.AddPoP("b")
+	b.AddDuplex("a", "b")
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumLinks() != 4 {
+		t.Fatalf("links = %d", topo.NumLinks())
+	}
+}
+
+func TestMultiFlowCandidates(t *testing.T) {
+	topo := netanomaly.Abilene()
+	cands := netanomaly.MultiFlowCandidates(topo)
+	if len(cands) != topo.NumPoPs() {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for dst, set := range cands {
+		if len(set) != topo.NumPoPs()-1 {
+			t.Fatalf("candidate %d has %d flows", dst, len(set))
+		}
+		for _, f := range set {
+			_, d := topo.FlowEndpoints(f)
+			if d != dst {
+				t.Fatalf("candidate %d contains flow to %d", dst, d)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := netanomaly.NewMatrix(3, 2, []float64{1, 2.5, -3, 4e7, 0, 6})
+	var buf bytes.Buffer
+	if err := netanomaly.WriteMatrixCSV(&buf, m, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	got, header, err := netanomaly.ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 2 || header[0] != "a" {
+		t.Fatalf("header = %v", header)
+	}
+	r, c := got.Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("dims = %dx%d", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("(%d,%d) = %v want %v", i, j, got.At(i, j), m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCSVNoHeader(t *testing.T) {
+	m := netanomaly.NewMatrix(2, 2, []float64{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if err := netanomaly.WriteMatrixCSV(&buf, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, header, err := netanomaly.ReadMatrixCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != nil {
+		t.Fatalf("unexpected header %v", header)
+	}
+	if got.At(1, 1) != 4 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, _, err := netanomaly.ReadMatrixCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV must error")
+	}
+	if _, _, err := netanomaly.ReadMatrixCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("header-only CSV must error")
+	}
+	if _, _, err := netanomaly.ReadMatrixCSV(strings.NewReader("1,2\n3,x\n")); err == nil {
+		t.Fatal("bad number must error")
+	}
+	m := netanomaly.NewMatrix(1, 2, []float64{1, 2})
+	var buf bytes.Buffer
+	if err := netanomaly.WriteMatrixCSV(&buf, m, []string{"only-one"}); err == nil {
+		t.Fatal("header length mismatch must error")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.csv")
+	m := netanomaly.NewMatrix(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err := netanomaly.SaveMatrixCSV(path, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := netanomaly.LoadMatrixCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 2) != 6 {
+		t.Fatal("file round trip wrong")
+	}
+	if _, _, err := netanomaly.LoadMatrixCSV(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestOnlineDetectorViaPublicAPI(t *testing.T) {
+	topo := netanomaly.SprintEurope()
+	cfg := netanomaly.DefaultTrafficConfig(7)
+	cfg.Bins = 1008
+	od, err := netanomaly.GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := netanomaly.LinkLoads(topo, od)
+	det, err := netanomaly.NewOnlineDetector(links, topo, netanomaly.OnlineConfig{Window: 1008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := od.Row(200)
+	row[topo.FlowID(0, 5)] += 2e8
+	y := netanomaly.LinkLoads(topo, netanomaly.NewMatrix(1, len(row), row)).Row(0)
+	al, anomalous, err := det.Process(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anomalous {
+		t.Fatal("online detector missed a 2e8-byte spike")
+	}
+	if al.Flow != topo.FlowID(0, 5) {
+		t.Fatalf("online alarm flow %d", al.Flow)
+	}
+}
