@@ -4,6 +4,14 @@
 // responsible, and the estimated byte count.
 //
 //	diagnose -topology abilene -links links.csv -confidence 0.999
+//
+// With -stream the command runs the concurrent engine instead of a
+// one-shot fit: the first -history bins seed the model, the remaining
+// bins are ingested in -batch sized blocks through a streaming Monitor
+// shard, alarms print as they are raised, and the model refits in the
+// background every -refit bins without stalling ingestion.
+//
+//	diagnose -topology abilene -links links.csv -stream -history 1008 -refit 288
 package main
 
 import (
@@ -12,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"netanomaly"
 )
@@ -21,6 +30,10 @@ func main() {
 	linksPath := flag.String("links", "links.csv", "link-load matrix CSV")
 	confidence := flag.Float64("confidence", 0.999, "detection confidence level")
 	rank := flag.Int("rank", 0, "fixed normal-subspace rank (0 = 3-sigma rule)")
+	stream := flag.Bool("stream", false, "stream bins through the concurrent engine instead of a one-shot fit")
+	historyBins := flag.Int("history", 1008, "streaming: bins that seed the model (the paper's week is 1008)")
+	batchSize := flag.Int("batch", 64, "streaming: bins per ingested batch")
+	refitEvery := flag.Int("refit", 0, "streaming: background-refit interval in bins (0 = never)")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
@@ -30,6 +43,11 @@ func main() {
 	links, _, err := netanomaly.LoadMatrixCSV(*linksPath)
 	if err != nil {
 		fatal(err)
+	}
+	opts := netanomaly.Options{Confidence: *confidence, Rank: *rank}
+	if *stream {
+		runStream(topo, links, *historyBins, *batchSize, *refitEvery, opts)
+		return
 	}
 	diag, err := netanomaly.NewDiagnoser(links, topo, netanomaly.Options{
 		Confidence: *confidence,
@@ -52,6 +70,62 @@ func main() {
 			r.Bin, r.SPE, r.Threshold, topo.FlowName(r.Flow), r.Bytes)
 	}
 	fmt.Printf("%d anomalies over %d bins\n", len(results), links.Rows())
+}
+
+// runStream seeds a Monitor shard on the first historyBins rows and
+// ingests the rest in batches, printing alarms as workers raise them.
+func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, historyBins, batchSize, refitEvery int, opts netanomaly.Options) {
+	bins, m := links.Dims()
+	if historyBins < m {
+		fatal(fmt.Errorf("streaming needs at least %d history bins (one per link), have %d", m, historyBins))
+	}
+	if historyBins >= bins {
+		fatal(fmt.Errorf("history (%d bins) leaves nothing to stream (%d bins total)", historyBins, bins))
+	}
+	if batchSize <= 0 {
+		batchSize = 64 // engine default; normalized here so the banner matches
+	}
+	// The detector copies seed rows into its ring, so the history view can
+	// alias the loaded matrix.
+	history := netanomaly.NewMatrix(historyBins, m, links.RawData()[:historyBins*m])
+	// OnAlarm may be invoked concurrently from multiple workers; the mutex
+	// keeps the count exact and the output lines unscrambled.
+	var alarmMu sync.Mutex
+	alarms := 0
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
+		BatchSize:  batchSize,
+		RefitEvery: refitEvery,
+		Options:    opts,
+		OnAlarm: func(a netanomaly.MonitorAlarm) {
+			alarmMu.Lock()
+			defer alarmMu.Unlock()
+			alarms++
+			// Seq counts from the first streamed bin; print absolute bins.
+			fmt.Printf("%6d %14.4g %14.4g %-16s %14.4g\n",
+				historyBins+a.Seq, a.SPE, a.Threshold, topo.FlowName(a.Flow), a.Bytes)
+		},
+	})
+	const view = "stream"
+	if err := netanomaly.AddTopologyView(mon, view, history, topo); err != nil {
+		fatal(err)
+	}
+	det, err := mon.Detector(view)
+	if err != nil {
+		fatal(err)
+	}
+	model := det.Diagnoser().Detector().Model()
+	fmt.Printf("streaming: model seeded on %d bins (%d links, rank %d), %d bins to go in batches of %d\n",
+		historyBins, model.NumLinks(), model.Rank(), bins-historyBins, batchSize)
+	fmt.Printf("%6s %14s %14s %-16s %14s\n", "bin", "SPE", "threshold", "flow", "bytes")
+	rest := netanomaly.NewMatrix(bins-historyBins, m, links.RawData()[historyBins*m:])
+	if err := mon.Ingest(view, rest); err != nil {
+		fatal(err)
+	}
+	mon.Close()
+	for _, err := range mon.Errs() {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+	}
+	fmt.Printf("%d alarms over %d streamed bins\n", alarms, bins-historyBins)
 }
 
 func parseTopology(name string) (*netanomaly.Topology, error) {

@@ -28,11 +28,46 @@
 //	        a.Bin, topo.FlowName(a.Flow), a.Bytes)
 //	}
 //
+// # Streaming and the concurrent engine
+//
+// Section 7.1 of the paper frames the subspace method as a first-level
+// online monitor. Two layers serve that deployment:
+//
+// OnlineDetector is the single-stream primitive: it tests each arriving
+// measurement against a model fitted on a sliding window. The active
+// model lives behind an atomic pointer, so Process is lock-free with
+// respect to model fitting; when the refit interval elapses the O(m^3)
+// refit runs in a background goroutine on a window snapshot and the new
+// model is swapped in atomically. A failed refit keeps the previous
+// model in force. ProcessBatch pushes a whole bins x links block through
+// the batched low-rank SPE kernel (O(m*rank) per bin instead of O(m^2)).
+//
+// Monitor (internal/engine, surfaced as NewMonitor/AddTopologyView) is
+// the scale-out layer: one detector shard per registered traffic view
+// (topology, vantage point, customer network), measurement batches
+// fanned across a fixed worker pool. Batches within a view are processed
+// strictly in ingest order — sequence numbers match arrival — while
+// different views run concurrently; a refit in one view never stalls
+// ingestion in any view. Use Monitor when tracking several topologies or
+// feeding one high-rate stream in batches; use OnlineDetector directly
+// for a simple bin-by-bin loop.
+//
+//	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
+//	    RefitEvery: 1008,
+//	    OnAlarm: func(a netanomaly.MonitorAlarm) {
+//	        log.Printf("%s: bin %d flow %d ~%.0f bytes", a.View, a.Seq, a.Flow, a.Bytes)
+//	    },
+//	})
+//	_ = netanomaly.AddTopologyView(mon, "backbone", history, topo)
+//	_ = mon.Ingest("backbone", batch) // asynchronous; Flush() to drain
+//
 // Everything is deterministic in the provided seeds and uses only the
 // standard library. The subpackages under internal/ implement the
-// substrates: dense linear algebra (internal/mat), network topology and
-// routing (internal/topology), the traffic model (internal/traffic), the
+// substrates: dense linear algebra (internal/mat, with blocked and
+// goroutine-parallel multiply kernels), network topology and routing
+// (internal/topology), the traffic model (internal/traffic), the
 // simulated measurement plane (internal/netmeas), temporal baselines
-// (internal/timeseries), the subspace method itself (internal/core), and
-// the paper's full evaluation (internal/eval, internal/experiments).
+// (internal/timeseries), the subspace method itself (internal/core), the
+// concurrent streaming engine (internal/engine), and the paper's full
+// evaluation (internal/eval, internal/experiments).
 package netanomaly

@@ -1,0 +1,3 @@
+module netanomaly
+
+go 1.24

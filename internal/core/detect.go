@@ -65,6 +65,19 @@ func (d *Detector) DetectSeries(y *mat.Dense) []Detection {
 	return out
 }
 
+// DetectBatch runs the SPE test on every row of the measurement matrix
+// (bins x links) through the batched low-rank SPE kernel: one matrix pass
+// for the whole block instead of a per-vector projection loop. It matches
+// DetectSeries up to floating-point roundoff in SPE.
+func (d *Detector) DetectBatch(y *mat.Dense) []Detection {
+	spes := d.model.SPEBatch(y, nil)
+	out := make([]Detection, len(spes))
+	for b, spe := range spes {
+		out[b] = Detection{Bin: b, SPE: spe, Threshold: d.limit, Alarm: spe > d.limit}
+	}
+	return out
+}
+
 // Diagnosis is a fully diagnosed volume anomaly: when it happened, how
 // anomalous the traffic was, which OD flow caused it, and how many bytes
 // were involved (the paper's three-step output).
@@ -151,6 +164,34 @@ func (d *Diagnoser) DiagnoseAt(y []float64) (diag Diagnosis, ok bool) {
 		Flow:      res.Flow,
 		Bytes:     res.Bytes,
 	}, true
+}
+
+// DiagnoseBatch runs the three-step pipeline over every row of the
+// measurement matrix (bins x links) in one batched pass: SPE for the whole
+// block comes from a single bins x m x rank multiply (Model.SPEBatch), and
+// only the rows that alarm pay for identification and quantification. It
+// returns one Diagnosis per row (Flow is -1 for quiet rows) and a parallel
+// slice marking which rows are anomalous. Bin is the row index within the
+// batch; streaming callers re-number it with their own sequence.
+func (d *Diagnoser) DiagnoseBatch(y *mat.Dense) ([]Diagnosis, []bool) {
+	bins, m := y.Dims()
+	if m != d.det.model.NumLinks() {
+		panic(fmt.Sprintf("core: batch has %d links, model has %d", m, d.det.model.NumLinks()))
+	}
+	spes := d.det.model.SPEBatch(y, nil)
+	diags := make([]Diagnosis, bins)
+	flags := make([]bool, bins)
+	for b, spe := range spes {
+		diag := Diagnosis{Bin: b, SPE: spe, Threshold: d.det.limit, Flow: -1}
+		if spe > d.det.limit {
+			res := d.id.Identify(y.RowView(b))
+			diag.Flow = res.Flow
+			diag.Bytes = res.Bytes
+			flags[b] = true
+		}
+		diags[b] = diag
+	}
+	return diags, flags
 }
 
 // DiagnoseSeries runs the pipeline over every bin of the measurement

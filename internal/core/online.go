@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"netanomaly/internal/mat"
 )
@@ -14,48 +15,83 @@ import (
 // fine-grained collection can be triggered. The model matrix P P^T is
 // stable week to week, so refits are occasional (Refit), not per-bin.
 //
-// OnlineDetector is safe for concurrent use.
+// OnlineDetector is safe for concurrent use, and detection never blocks
+// on model fitting: the active Diagnoser is held in an atomic pointer
+// that Process reads lock-free, automatic refits run in a background
+// goroutine on a snapshot of the window, and the freshly fitted model is
+// swapped in atomically when ready. A failed refit leaves the previous
+// model in force and surfaces its error on a subsequent Process call.
 type OnlineDetector struct {
-	mu         sync.Mutex
-	a          *mat.Dense
-	opts       Options
+	a    *mat.Dense
+	opts Options
+	// links is the expected measurement vector length; mismatched rows
+	// are rejected with an error, never buffered.
+	links int
+
+	// diag is the active model; Process and ProcessBatch load it without
+	// taking mu, so a concurrent refit cannot stall detection.
+	diag atomic.Pointer[Diagnoser]
+
+	mu         sync.Mutex // guards the fields below
 	window     *ring
-	diag       *Diagnoser
 	processed  int
+	sinceRefit int
 	refitEvery int
+	// refitting serializes model fits: it is held (true) from window
+	// snapshot to model swap by background and explicit refits alike, so
+	// two fits never run concurrently and a fit on an older snapshot can
+	// never overwrite a newer model. refitDone signals it turning false.
+	refitting bool
+	refitDone *sync.Cond // on mu
+	refitErr  error      // deferred error from the last failed background refit
+
+	// refitHook, when set (before streaming starts), runs inside the
+	// background refit goroutine before fitting begins. Tests use it to
+	// hold a refit open and prove Process does not block behind it.
+	refitHook func()
 }
 
-// ring is a fixed-capacity row buffer for measurement vectors.
+// ring is a fixed-capacity row buffer for measurement vectors with a
+// fixed column count. Rows live in one flat preallocated slice, so a
+// push is a plain copy into the next slot — no per-bin allocation and
+// nothing for the garbage collector to scan on the streaming hot path.
 type ring struct {
-	rows  [][]float64
-	next  int
-	count int
+	data     []float64 // capacity*cols, row-major
+	capacity int
+	cols     int
+	next     int
+	count    int
 }
 
-func newRing(capacity int) *ring { return &ring{rows: make([][]float64, capacity)} }
+func newRing(capacity, cols int) *ring {
+	return &ring{data: make([]float64, capacity*cols), capacity: capacity, cols: cols}
+}
 
 func (r *ring) push(row []float64) {
-	r.rows[r.next] = mat.CloneVec(row)
-	r.next = (r.next + 1) % len(r.rows)
-	if r.count < len(r.rows) {
+	if len(row) != r.cols {
+		panic(fmt.Sprintf("core: ring row length %d != %d", len(row), r.cols))
+	}
+	copy(r.data[r.next*r.cols:(r.next+1)*r.cols], row)
+	r.next = (r.next + 1) % r.capacity
+	if r.count < r.capacity {
 		r.count++
 	}
 }
 
-// matrix returns the buffered rows, oldest first, as a dense matrix.
+// matrix returns the buffered rows, oldest first, as a dense matrix: the
+// two wrapped stripes of the flat buffer, copied in order.
 func (r *ring) matrix() *mat.Dense {
 	if r.count == 0 {
 		return nil
 	}
-	cols := len(r.rows[(r.next-1+len(r.rows))%len(r.rows)])
-	m := mat.Zeros(r.count, cols)
+	m := mat.Zeros(r.count, r.cols)
+	out := m.RawData()
 	start := 0
-	if r.count == len(r.rows) {
+	if r.count == r.capacity {
 		start = r.next
 	}
-	for i := 0; i < r.count; i++ {
-		m.SetRow(i, r.rows[(start+i)%len(r.rows)])
-	}
+	tail := copy(out, r.data[start*r.cols:r.count*r.cols])
+	copy(out[tail:], r.data[:start*r.cols])
 	return m
 }
 
@@ -64,8 +100,8 @@ type OnlineConfig struct {
 	// Window is the number of most recent bins kept for model fitting
 	// (the paper fits on one week: 1008 ten-minute bins).
 	Window int
-	// RefitEvery triggers an automatic refit after this many processed
-	// bins; 0 disables automatic refits (call Refit explicitly).
+	// RefitEvery triggers an automatic background refit after this many
+	// processed bins; 0 disables automatic refits (call Refit explicitly).
 	RefitEvery int
 	// Options configure the underlying diagnoser.
 	Options Options
@@ -78,12 +114,13 @@ func NewOnlineDetector(history, a *mat.Dense, cfg OnlineConfig) (*OnlineDetector
 	if cfg.Window <= 0 {
 		return nil, fmt.Errorf("core: online window %d <= 0", cfg.Window)
 	}
-	t, _ := history.Dims()
+	t, links := history.Dims()
 	if t < cfg.Window {
 		cfg.Window = t
 	}
-	o := &OnlineDetector{a: a, opts: cfg.Options, refitEvery: cfg.RefitEvery}
-	o.window = newRing(cfg.Window)
+	o := &OnlineDetector{a: a, opts: cfg.Options, links: links, refitEvery: cfg.RefitEvery}
+	o.refitDone = sync.NewCond(&o.mu)
+	o.window = newRing(cfg.Window, links)
 	for b := t - cfg.Window; b < t; b++ {
 		o.window.push(history.RowView(b))
 	}
@@ -91,7 +128,7 @@ func NewOnlineDetector(history, a *mat.Dense, cfg OnlineConfig) (*OnlineDetector
 	if err != nil {
 		return nil, err
 	}
-	o.diag = diag
+	o.diag.Store(diag)
 	return o, nil
 }
 
@@ -102,14 +139,20 @@ type Alarm struct {
 	Diagnosis
 }
 
-// Process tests one measurement vector, appends it to the window, and
-// refits when the refit interval elapses. It returns an alarm when the
-// measurement is anomalous. Refit errors are returned; the previous model
-// stays in force when a refit fails.
+// Process tests one measurement vector against the active model and
+// appends it to the window. Detection runs lock-free against the current
+// model; when the refit interval elapses a background refit is launched
+// on a window snapshot and the stream continues uninterrupted. The error
+// of a failed background refit is reported by a later Process call (the
+// previous model stays in force); a measurement of the wrong length is
+// rejected with an error and not buffered.
 func (o *OnlineDetector) Process(y []float64) (Alarm, bool, error) {
+	if len(y) != o.links {
+		return Alarm{}, false, fmt.Errorf("core: measurement has %d links, detector expects %d", len(y), o.links)
+	}
+	diag, anomalous := o.diag.Load().DiagnoseAt(y)
+
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	diag, anomalous := o.diag.DiagnoseAt(y)
 	seq := o.processed
 	o.processed++
 	diag.Bin = seq
@@ -120,32 +163,156 @@ func (o *OnlineDetector) Process(y []float64) (Alarm, bool, error) {
 	if !anomalous {
 		o.window.push(y)
 	}
-	var err error
-	if o.refitEvery > 0 && o.processed%o.refitEvery == 0 {
-		err = o.refitLocked()
+	err := o.refitErr
+	o.refitErr = nil
+	snapshot := o.maybeSnapshotLocked(1)
+	o.mu.Unlock()
+
+	if snapshot != nil {
+		o.spawnRefit(snapshot)
 	}
 	return Alarm{Seq: seq, Diagnosis: diag}, anomalous, err
 }
 
-// Refit rebuilds the model from the current window contents.
-func (o *OnlineDetector) Refit() error {
+// ProcessBatch tests a block of measurements (bins x links) in one
+// batched pass (Diagnoser.DiagnoseBatch) and returns only the rows that
+// alarm, with sequence numbers assigned in row order. Window maintenance,
+// refit scheduling and error reporting follow Process; the whole batch is
+// detected against one consistent model snapshot.
+func (o *OnlineDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
+	bins, cols := y.Dims()
+	if cols != o.links {
+		return nil, fmt.Errorf("core: batch has %d links, detector expects %d", cols, o.links)
+	}
+	diags, flags := o.diag.Load().DiagnoseBatch(y)
+
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.refitLocked()
+	base := o.processed
+	o.processed += bins
+	var alarms []Alarm
+	for b := 0; b < bins; b++ {
+		if flags[b] {
+			d := diags[b]
+			d.Bin = base + b
+			alarms = append(alarms, Alarm{Seq: base + b, Diagnosis: d})
+		} else {
+			o.window.push(y.RowView(b))
+		}
+	}
+	err := o.refitErr
+	o.refitErr = nil
+	snapshot := o.maybeSnapshotLocked(bins)
+	o.mu.Unlock()
+
+	if snapshot != nil {
+		o.spawnRefit(snapshot)
+	}
+	return alarms, err
 }
 
-func (o *OnlineDetector) refitLocked() error {
-	w := o.window.matrix()
-	if w == nil {
-		return fmt.Errorf("core: online window empty")
+// maybeSnapshotLocked advances the refit counter by n processed bins and,
+// when the interval has elapsed and no refit is already in flight, marks
+// a refit as started and returns the window snapshot to fit on. Callers
+// must hold o.mu.
+func (o *OnlineDetector) maybeSnapshotLocked(n int) *mat.Dense {
+	if o.refitEvery <= 0 {
+		return nil
 	}
-	diag, err := NewDiagnoser(w, o.a, o.opts)
-	if err != nil {
-		return fmt.Errorf("core: online refit: %w", err)
+	o.sinceRefit += n
+	if o.sinceRefit < o.refitEvery || o.refitting {
+		return nil
 	}
-	o.diag = diag
-	return nil
+	o.sinceRefit = 0
+	o.refitting = true
+	return o.window.matrix()
 }
+
+// spawnRefit fits a new model on the snapshot in a background goroutine
+// and swaps it in atomically on success. On failure the previous model
+// stays active and the error is stashed for the next Process call. The
+// caller has already set o.refitting; the goroutine releases it (swap
+// first, then release, so no other fit can interleave between them).
+func (o *OnlineDetector) spawnRefit(w *mat.Dense) {
+	go func() {
+		if h := o.refitHook; h != nil {
+			h()
+		}
+		diag, err := NewDiagnoser(w, o.a, o.opts)
+		if err == nil {
+			o.diag.Store(diag)
+		}
+		o.mu.Lock()
+		o.refitting = false
+		if err != nil {
+			o.refitErr = fmt.Errorf("core: online refit: %w", err)
+		}
+		o.refitDone.Broadcast()
+		o.mu.Unlock()
+	}()
+}
+
+// Refit synchronously rebuilds the model from the current window
+// contents. It serializes with background refits (waiting for any fit
+// in flight, so a fit on an older window can never overwrite a newer
+// model) but never blocks Process: the fit runs on a snapshot outside
+// the detector lock and concurrent Process calls keep flowing against
+// the previous model until the atomic swap. A failed fit leaves the
+// previous model in force.
+func (o *OnlineDetector) Refit() error {
+	o.mu.Lock()
+	for o.refitting {
+		o.refitDone.Wait()
+	}
+	o.refitting = true
+	w := o.window.matrix()
+	o.mu.Unlock()
+
+	var diag *Diagnoser
+	var err error
+	if w == nil {
+		err = fmt.Errorf("core: online window empty")
+	} else if diag, err = NewDiagnoser(w, o.a, o.opts); err != nil {
+		err = fmt.Errorf("core: online refit: %w", err)
+	} else {
+		o.diag.Store(diag)
+	}
+
+	o.mu.Lock()
+	o.refitting = false
+	o.refitDone.Broadcast()
+	o.mu.Unlock()
+	return err
+}
+
+// WaitRefits blocks until no model fit is in flight. Safe to call while
+// other goroutines keep streaming (each in-flight fit is waited out as
+// it completes); it does not prevent new refits from starting after it
+// returns.
+func (o *OnlineDetector) WaitRefits() {
+	o.mu.Lock()
+	for o.refitting {
+		o.refitDone.Wait()
+	}
+	o.mu.Unlock()
+}
+
+// TakeRefitError returns and clears the deferred error from the last
+// failed background refit, if any. Streaming callers see these errors
+// on their next Process/ProcessBatch call; TakeRefitError exists for
+// shutdown paths that stop processing (engine Flush/Errs) and would
+// otherwise never observe a failure from the final refit.
+func (o *OnlineDetector) TakeRefitError() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	err := o.refitErr
+	o.refitErr = nil
+	return err
+}
+
+// Diagnoser returns the currently active model pipeline. The returned
+// value is immutable; a concurrent refit swaps in a new one rather than
+// mutating it.
+func (o *OnlineDetector) Diagnoser() *Diagnoser { return o.diag.Load() }
 
 // Processed returns the number of measurements seen so far.
 func (o *OnlineDetector) Processed() int {

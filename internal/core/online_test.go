@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"netanomaly/internal/mat"
 	"netanomaly/internal/traffic"
@@ -120,7 +122,7 @@ func TestOnlineDetectorConcurrentProcess(t *testing.T) {
 }
 
 func TestRingBuffer(t *testing.T) {
-	r := newRing(3)
+	r := newRing(3, 2)
 	if r.matrix() != nil {
 		t.Fatal("empty ring must return nil matrix")
 	}
@@ -138,5 +140,262 @@ func TestRingBuffer(t *testing.T) {
 	}
 	if m.At(0, 0) != 2 || m.At(2, 0) != 4 {
 		t.Fatalf("ring order wrong: %v", m)
+	}
+}
+
+func TestRingRejectsMismatchedRow(t *testing.T) {
+	r := newRing(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched row length")
+		}
+	}()
+	r.push([]float64{1, 2, 3})
+}
+
+func TestOnlineDetectorRejectsBadLength(t *testing.T) {
+	topo, _, y := testDataset(t, 65, 432)
+	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 432})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := od.Process([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for mismatched measurement length")
+	}
+	if od.Processed() != 0 {
+		t.Fatalf("rejected measurement was counted: Processed = %d", od.Processed())
+	}
+	// The window must be intact: a refit on it still succeeds.
+	if err := od.Refit(); err != nil {
+		t.Fatalf("refit after rejected measurement: %v", err)
+	}
+	if _, err := od.ProcessBatch(mat.Zeros(4, 3)); err == nil {
+		t.Fatal("expected error for mismatched batch width")
+	}
+}
+
+func TestOnlineDetectorProcessBatchMatchesSerial(t *testing.T) {
+	topo, x, _, _, _ := fitPipeline(t, 66, 1440)
+	y := traffic.LinkLoads(topo, x)
+	history := mat.Zeros(1008, topo.NumLinks())
+	for b := 0; b < 1008; b++ {
+		history.SetRow(b, y.RowView(b))
+	}
+	flow := topo.FlowID(0, 5)
+	stream := mat.Zeros(432, topo.NumLinks())
+	for b := 0; b < 432; b++ {
+		v := x.Row(1008 + b)
+		if b == 200 {
+			v[flow] += 9e7
+		}
+		stream.SetRow(b, traffic.LinkLoadAt(topo, v))
+	}
+	cfg := OnlineConfig{Window: 1008}
+	serial, err := NewOnlineDetector(history, topo.RoutingMatrix(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewOnlineDetector(history, topo.RoutingMatrix(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Alarm
+	for b := 0; b < 432; b++ {
+		al, anomalous, err := serial.Process(stream.RowView(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anomalous {
+			want = append(want, al)
+		}
+	}
+	var got []Alarm
+	for b := 0; b < 432; b += 48 {
+		alarms, err := batched.ProcessBatch(mat.NewDense(48, topo.NumLinks(), stream.RawData()[b*topo.NumLinks():(b+48)*topo.NumLinks()]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, alarms...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batched path raised %d alarms, serial raised %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq || got[i].Flow != want[i].Flow {
+			t.Fatalf("alarm %d: batched (seq %d flow %d) vs serial (seq %d flow %d)",
+				i, got[i].Seq, got[i].Flow, want[i].Seq, want[i].Flow)
+		}
+	}
+	if batched.Processed() != 432 {
+		t.Fatalf("batched Processed = %d want 432", batched.Processed())
+	}
+}
+
+// constantDetector builds a detector whose window can be driven into a
+// degenerate (zero-variance) state: feeding `fill` copies of the history
+// column means replaces every window row with an identical vector, on
+// which model fitting must fail (the residual subspace carries no
+// variance, so the Q-statistic is undefined).
+func constantDetector(t *testing.T, refitEvery int) (*OnlineDetector, []float64) {
+	t.Helper()
+	const bins, links = 40, 6
+	rng := rand.New(rand.NewSource(99))
+	history := mat.Zeros(bins, links)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < links; j++ {
+			history.Set(i, j, 100+10*rng.NormFloat64())
+		}
+	}
+	od, err := NewOnlineDetector(history, mat.Identity(links), OnlineConfig{
+		Window:     bins,
+		RefitEvery: refitEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return od, history.ColMeans()
+}
+
+func TestOnlineDetectorFailedRefitKeepsModel(t *testing.T) {
+	od, mean := constantDetector(t, 0)
+	before := od.Diagnoser()
+	for i := 0; i < 40; i++ {
+		if _, anomalous, err := od.Process(mean); err != nil || anomalous {
+			t.Fatalf("mean vector rejected: anomalous=%v err=%v", anomalous, err)
+		}
+	}
+	if err := od.Refit(); err == nil {
+		t.Fatal("expected refit on a constant window to fail")
+	}
+	if od.Diagnoser() != before {
+		t.Fatal("failed refit replaced the model")
+	}
+	// The previous model must remain fully operational.
+	if _, anomalous, err := od.Process(mean); err != nil || anomalous {
+		t.Fatalf("detector broken after failed refit: anomalous=%v err=%v", anomalous, err)
+	}
+}
+
+func TestOnlineDetectorFailedBackgroundRefitKeepsModel(t *testing.T) {
+	od, mean := constantDetector(t, 40)
+	before := od.Diagnoser()
+	var refitErr error
+	for i := 0; i < 40; i++ {
+		_, _, err := od.Process(mean)
+		if err != nil {
+			refitErr = err
+		}
+	}
+	od.WaitRefits()
+	// The 40th Process triggered a background refit on the now-constant
+	// window; its failure is harvestable without another measurement...
+	if err := od.TakeRefitError(); err != nil {
+		refitErr = err
+	} else if _, _, err := od.Process(mean); err != nil {
+		// ...and would otherwise surface on the next call.
+		refitErr = err
+	}
+	if refitErr == nil {
+		t.Fatal("background refit on a constant window reported no error")
+	}
+	if od.Diagnoser() != before {
+		t.Fatal("failed background refit replaced the model")
+	}
+	if err := od.TakeRefitError(); err != nil {
+		t.Fatalf("refit error not cleared after harvest: %v", err)
+	}
+}
+
+func TestOnlineDetectorRefitDoesNotBlockProcess(t *testing.T) {
+	topo, _, y := testDataset(t, 67, 432)
+	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 432, RefitEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	od.refitHook = func() {
+		once.Do(func() { close(entered) })
+		<-hold
+	}
+	// Cross the refit interval so a background refit starts and parks in
+	// the hook.
+	for b := 0; b < 10; b++ {
+		if _, _, err := od.Process(y.RowView(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-entered
+	// With the refit held open, the stream must keep flowing. If Process
+	// blocked behind the refit, this goroutine would never finish and the
+	// watchdog below would fire.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for b := 0; b < 100; b++ {
+			if _, _, err := od.Process(y.RowView(b % 432)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Process blocked while a refit was in flight")
+	}
+	close(hold)
+	od.WaitRefits()
+	if od.Processed() != 110 {
+		t.Fatalf("Processed = %d want 110", od.Processed())
+	}
+}
+
+func TestOnlineDetectorConcurrentBatchesAndRefits(t *testing.T) {
+	// Race hammer: concurrent Process, ProcessBatch and explicit Refit
+	// calls must be safe together (run under -race in CI).
+	topo, _, y := testDataset(t, 68, 432)
+	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 432, RefitEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := topo.NumLinks()
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < 60; b++ {
+				od.Process(y.RowView((g*60 + b) % 432))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			batch := mat.Zeros(12, links)
+			for b := 0; b < 12; b++ {
+				batch.SetRow(b, y.RowView((i*12+b)%432))
+			}
+			if _, err := od.ProcessBatch(batch); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := od.Refit(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+	od.WaitRefits()
+	if od.Processed() != 3*60+5*12 {
+		t.Fatalf("Processed = %d want %d", od.Processed(), 3*60+5*12)
 	}
 }

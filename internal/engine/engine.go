@@ -1,0 +1,430 @@
+// Package engine runs the subspace method as a concurrent streaming
+// detection service. A Monitor owns one detector shard per traffic view
+// (a topology, a vantage point, a customer network — anything with its
+// own routing matrix and measurement stream) and fans measurement
+// batches across a fixed worker pool. Each shard is a non-blocking
+// core.OnlineDetector: detection inside a shard runs against an
+// atomically swapped model, so a model refit in one view never stalls
+// ingestion in any view. The batched hot path (DiagnoseBatch) tests a
+// whole bins x links block in one matrix pass, which is what makes the
+// engine's per-bin cost a fraction of the serial per-vector loop.
+//
+// The Monitor is the scale-out layer the ROADMAP's "first-level online
+// monitor" needs; for a single stream with no fan-out requirements,
+// core.OnlineDetector alone is simpler.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+)
+
+// Config parameterizes a Monitor. The zero value is usable: defaults are
+// filled in by NewMonitor.
+type Config struct {
+	// Workers is the size of the processing pool; default GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of bins per dispatched job: Ingest splits
+	// larger batches into BatchSize chunks so one bulky view cannot
+	// monopolize the pool. Default 64.
+	BatchSize int
+	// Window is the per-shard sliding window, in bins (the paper fits on
+	// 1008); 0 uses each view's full seeding history.
+	Window int
+	// RefitEvery triggers a background model refit in a shard after this
+	// many processed bins; 0 disables automatic refits.
+	RefitEvery int
+	// Options configure each shard's diagnoser.
+	Options core.Options
+	// OnAlarm, when set, is invoked for every raised alarm, possibly
+	// concurrently from multiple workers. When nil, alarms accumulate
+	// internally and are retrieved with TakeAlarms.
+	OnAlarm func(Alarm)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+}
+
+// Alarm is a diagnosed anomaly tagged with the view that raised it. Seq
+// is the per-view measurement sequence number assigned at processing
+// time.
+type Alarm struct {
+	View string
+	core.Alarm
+}
+
+// shard is one view's detector, its FIFO of queued batches, and its
+// deferred-error log. A shard's batches are processed strictly in queue
+// order by whichever worker owns the shard at the moment, so per-view
+// sequence numbers always match arrival order; parallelism comes from
+// different shards running on different workers.
+type shard struct {
+	name  string
+	links int
+	det   *core.OnlineDetector
+
+	qmu   sync.Mutex
+	queue []*mat.Dense
+	owned bool // a worker currently holds this shard
+
+	errMu sync.Mutex
+	errs  []error
+}
+
+func (s *shard) recordErr(err error) {
+	s.errMu.Lock()
+	s.errs = append(s.errs, fmt.Errorf("engine: view %q: %w", s.name, err))
+	s.errMu.Unlock()
+}
+
+// Monitor is a sharded, batched streaming detection engine. Create one
+// with NewMonitor, register views with AddView, feed measurement batches
+// with Ingest (asynchronous) or ProcessBatch (synchronous), and stop it
+// with Close.
+type Monitor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shards map[string]*shard
+	closed bool
+
+	// ready holds shards with queued work that no worker owns yet;
+	// workers round-robin over it (one batch per turn) so a busy view
+	// cannot starve the others.
+	dispatchMu sync.Mutex
+	dispatch   *sync.Cond
+	ready      []*shard
+	stopping   bool
+
+	workers sync.WaitGroup
+
+	// pending counts queued-but-unprocessed batches. A mutex+cond pair
+	// rather than a WaitGroup: Ingest may add while Flush waits, which
+	// the WaitGroup contract forbids (Add on a zero counter concurrent
+	// with Wait) but a cond handles naturally.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pendN    int
+
+	alarmMu sync.Mutex
+	alarms  []Alarm
+}
+
+func (m *Monitor) addPending(n int) {
+	m.pendMu.Lock()
+	m.pendN += n
+	m.pendMu.Unlock()
+}
+
+func (m *Monitor) donePending() {
+	m.pendMu.Lock()
+	m.pendN--
+	if m.pendN == 0 {
+		m.pendCond.Broadcast()
+	}
+	m.pendMu.Unlock()
+}
+
+func (m *Monitor) waitPending() {
+	m.pendMu.Lock()
+	for m.pendN > 0 {
+		m.pendCond.Wait()
+	}
+	m.pendMu.Unlock()
+}
+
+// NewMonitor starts the worker pool and returns an empty Monitor.
+func NewMonitor(cfg Config) *Monitor {
+	cfg.fillDefaults()
+	m := &Monitor{
+		cfg:    cfg,
+		shards: make(map[string]*shard),
+	}
+	m.dispatch = sync.NewCond(&m.dispatchMu)
+	m.pendCond = sync.NewCond(&m.pendMu)
+	for w := 0; w < cfg.Workers; w++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+func (m *Monitor) worker() {
+	defer m.workers.Done()
+	for {
+		m.dispatchMu.Lock()
+		for len(m.ready) == 0 && !m.stopping {
+			m.dispatch.Wait()
+		}
+		if len(m.ready) == 0 {
+			m.dispatchMu.Unlock()
+			return
+		}
+		s := m.ready[0]
+		m.ready = m.ready[1:]
+		m.dispatchMu.Unlock()
+
+		s.qmu.Lock()
+		if len(s.queue) == 0 {
+			s.owned = false
+			s.qmu.Unlock()
+			continue
+		}
+		batch := s.queue[0]
+		s.queue = s.queue[1:]
+		s.qmu.Unlock()
+
+		alarms, err := s.det.ProcessBatch(batch)
+		if err != nil {
+			s.recordErr(err)
+		}
+		for _, a := range alarms {
+			m.emit(Alarm{View: s.name, Alarm: a})
+		}
+
+		// Hand the shard back: re-ready it if more batches arrived,
+		// otherwise release ownership so the next Ingest re-readies it.
+		s.qmu.Lock()
+		more := len(s.queue) > 0
+		if !more {
+			s.owned = false
+		}
+		s.qmu.Unlock()
+		if more {
+			m.readyShard(s)
+		}
+		m.donePending()
+	}
+}
+
+// readyShard puts an owned shard (back) on the dispatch list and wakes a
+// worker.
+func (m *Monitor) readyShard(s *shard) {
+	m.dispatchMu.Lock()
+	m.ready = append(m.ready, s)
+	m.dispatch.Signal()
+	m.dispatchMu.Unlock()
+}
+
+func (m *Monitor) emit(a Alarm) {
+	if m.cfg.OnAlarm != nil {
+		m.cfg.OnAlarm(a)
+		return
+	}
+	m.alarmMu.Lock()
+	m.alarms = append(m.alarms, a)
+	m.alarmMu.Unlock()
+}
+
+// AddView registers a detector shard. history (bins x links) seeds the
+// model and sliding window; routing (links x flows) drives
+// identification. Views can be added while the monitor is running.
+func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
+	window := m.cfg.Window
+	if window <= 0 {
+		window = history.Rows()
+	}
+	det, err := core.NewOnlineDetector(history, routing, core.OnlineConfig{
+		Window:     window,
+		RefitEvery: m.cfg.RefitEvery,
+		Options:    m.cfg.Options,
+	})
+	if err != nil {
+		return fmt.Errorf("engine: view %q: %w", name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("engine: monitor is closed")
+	}
+	if _, dup := m.shards[name]; dup {
+		return fmt.Errorf("engine: duplicate view %q", name)
+	}
+	m.shards[name] = &shard{name: name, links: history.Cols(), det: det}
+	return nil
+}
+
+// Ingest queues a measurement batch (bins x links) for the view,
+// splitting it into BatchSize chunks, and returns without waiting for
+// processing. Chunks of one view are processed strictly in ingest order
+// (sequence numbers match arrival order); chunks of different views run
+// concurrently across the worker pool. The batch's rows are copied into
+// the window as they are processed; the caller must not mutate the batch
+// until Flush (or Close) returns.
+func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
+	s, err := m.lookup(view)
+	if err != nil {
+		return err
+	}
+	bins, cols := batch.Dims()
+	if cols != s.links {
+		return fmt.Errorf("engine: view %q: batch has %d links, want %d", view, cols, s.links)
+	}
+	data := batch.RawData()
+	var chunks []*mat.Dense
+	for r0 := 0; r0 < bins; r0 += m.cfg.BatchSize {
+		r1 := r0 + m.cfg.BatchSize
+		if r1 > bins {
+			r1 = bins
+		}
+		chunks = append(chunks, mat.NewDense(r1-r0, cols, data[r0*cols:r1*cols]))
+	}
+	if len(chunks) == 0 {
+		return nil
+	}
+	m.addPending(len(chunks))
+	s.qmu.Lock()
+	s.queue = append(s.queue, chunks...)
+	wake := !s.owned
+	if wake {
+		s.owned = true
+	}
+	s.qmu.Unlock()
+	if wake {
+		m.readyShard(s)
+	}
+	return nil
+}
+
+// ProcessBatch runs a batch through the view's shard synchronously on
+// the caller's goroutine (bypassing the queue) and returns the raised
+// alarms, which are also delivered to OnAlarm/TakeAlarms. The batch's
+// alarms are returned even when err is non-nil: the detector reports
+// deferred background-refit failures alongside valid detections, and
+// dropping the detections would lose real anomalies.
+func (m *Monitor) ProcessBatch(view string, batch *mat.Dense) ([]Alarm, error) {
+	s, err := m.lookup(view)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := s.det.ProcessBatch(batch)
+	out := make([]Alarm, len(raw))
+	for i, a := range raw {
+		out[i] = Alarm{View: view, Alarm: a}
+		m.emit(out[i])
+	}
+	if err != nil {
+		err = fmt.Errorf("engine: view %q: %w", view, err)
+	}
+	return out, err
+}
+
+func (m *Monitor) lookup(view string) (*shard, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("engine: monitor is closed")
+	}
+	s, ok := m.shards[view]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", view)
+	}
+	return s, nil
+}
+
+// Flush blocks until every queued batch has been processed and every
+// background refit launched so far has completed. Ingest may continue
+// from other goroutines, in which case Flush covers at least the work
+// queued before the call.
+func (m *Monitor) Flush() {
+	m.waitPending()
+	m.mu.Lock()
+	shards := make([]*shard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	m.mu.Unlock()
+	for _, s := range shards {
+		s.det.WaitRefits()
+	}
+}
+
+// TakeAlarms returns the alarms accumulated since the last call and
+// clears the buffer. Only used when Config.OnAlarm is nil.
+func (m *Monitor) TakeAlarms() []Alarm {
+	m.alarmMu.Lock()
+	out := m.alarms
+	m.alarms = nil
+	m.alarmMu.Unlock()
+	return out
+}
+
+// Errs returns every deferred error recorded so far (failed background
+// refits, mis-sized batches discovered at processing time), oldest
+// first. It also harvests any refit failure still parked inside a
+// detector — e.g. one triggered by the final batch, which no later
+// Process call would ever surface — so call it after Flush or Close to
+// get the complete picture.
+func (m *Monitor) Errs() []error {
+	m.mu.Lock()
+	shards := make([]*shard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	m.mu.Unlock()
+	var out []error
+	for _, s := range shards {
+		if err := s.det.TakeRefitError(); err != nil {
+			s.recordErr(err)
+		}
+		s.errMu.Lock()
+		out = append(out, s.errs...)
+		s.errMu.Unlock()
+	}
+	return out
+}
+
+// Views returns the registered view names, in no particular order.
+func (m *Monitor) Views() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.shards))
+	for name := range m.shards {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Detector returns a view's underlying online detector (for inspecting
+// the active model, thresholds, processed counts).
+func (m *Monitor) Detector(view string) (*core.OnlineDetector, error) {
+	s, err := m.lookup(view)
+	if err != nil {
+		return nil, err
+	}
+	return s.det, nil
+}
+
+// Close drains the queue, stops the workers, and waits for in-flight
+// background refits. After Close, Ingest and ProcessBatch fail. Close
+// must not be called concurrently with Ingest: quiesce producers first
+// (the closed flag makes later Ingest calls fail cleanly, but a racing
+// one could enqueue into a closing pool).
+func (m *Monitor) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.waitPending()
+	m.dispatchMu.Lock()
+	m.stopping = true
+	m.dispatch.Broadcast()
+	m.dispatchMu.Unlock()
+	m.workers.Wait()
+	for _, s := range m.shards {
+		s.det.WaitRefits()
+	}
+}

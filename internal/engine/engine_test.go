@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+	"netanomaly/internal/traffic"
+)
+
+// viewData generates a simulated view: a seeded history block and a
+// continuation stream with an optional spike injected at streamBin of
+// the stream (flow src->dst 1->7).
+func viewData(t *testing.T, seed int64, historyBins, streamBins, spikeBin int) (*topology.Topology, *mat.Dense, *mat.Dense, int) {
+	t.Helper()
+	topo := topology.Abilene()
+	cfg := traffic.DefaultConfig(seed)
+	cfg.Bins = historyBins + streamBins
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate()
+	flow := topo.FlowID(1, 7)
+	if spikeBin >= 0 {
+		x.Set(historyBins+spikeBin, flow, x.At(historyBins+spikeBin, flow)+9e7)
+	}
+	y := traffic.LinkLoads(topo, x)
+	links := topo.NumLinks()
+	history := mat.Zeros(historyBins, links)
+	for b := 0; b < historyBins; b++ {
+		history.SetRow(b, y.RowView(b))
+	}
+	stream := mat.Zeros(streamBins, links)
+	for b := 0; b < streamBins; b++ {
+		stream.SetRow(b, y.RowView(historyBins+b))
+	}
+	return topo, history, stream, flow
+}
+
+func TestMonitorEndToEnd(t *testing.T) {
+	topo, historyA, streamA, flow := viewData(t, 80, 1008, 288, 100)
+	_, historyB, streamB, _ := viewData(t, 81, 1008, 288, -1)
+
+	m := NewMonitor(Config{Workers: 4, BatchSize: 48})
+	defer m.Close()
+	if err := m.AddView("backbone-a", historyA, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView("backbone-b", historyB, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("backbone-a", streamA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("backbone-b", streamB); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	if errs := m.Errs(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	alarms := m.TakeAlarms()
+	spiked := false
+	for _, a := range alarms {
+		if a.View == "backbone-a" && a.Seq == 100 {
+			spiked = true
+			if a.Flow != flow {
+				t.Fatalf("spike identified flow %d want %d", a.Flow, flow)
+			}
+			if a.Bytes < 4e7 {
+				t.Fatalf("spike quantified at %v bytes", a.Bytes)
+			}
+		}
+	}
+	if !spiked {
+		t.Fatalf("injected spike not alarmed; %d alarms: %+v", len(alarms), alarms)
+	}
+	if len(alarms) > 20 {
+		t.Fatalf("too many false alarms: %d", len(alarms))
+	}
+	detA, err := m.Detector("backbone-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detA.Processed() != 288 {
+		t.Fatalf("view a processed %d bins want 288", detA.Processed())
+	}
+}
+
+func TestMonitorConcurrentIngest(t *testing.T) {
+	// Race hammer (run under -race in CI): several producers feeding
+	// several views through the shared pool, with refits enabled.
+	topo, history, stream, _ := viewData(t, 82, 600, 240, -1)
+	m := NewMonitor(Config{Workers: 4, BatchSize: 16, RefitEvery: 60})
+	views := []string{"v0", "v1", "v2"}
+	for _, v := range views {
+		if err := m.AddView(v, history, topo.RoutingMatrix()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, v := range views {
+		for part := 0; part < 2; part++ {
+			wg.Add(1)
+			go func(v string, part int) {
+				defer wg.Done()
+				half := stream.Rows() / 2
+				sub := mat.Zeros(half, stream.Cols())
+				for b := 0; b < half; b++ {
+					sub.SetRow(b, stream.RowView(part*half+b))
+				}
+				if err := m.Ingest(v, sub); err != nil {
+					t.Error(err)
+				}
+			}(v, part)
+		}
+	}
+	wg.Wait()
+	m.Flush()
+	if errs := m.Errs(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	for _, v := range views {
+		det, err := m.Detector(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det.Processed() != 240 {
+			t.Fatalf("view %s processed %d want 240", v, det.Processed())
+		}
+	}
+	m.Close()
+}
+
+func TestMonitorOnAlarmCallback(t *testing.T) {
+	topo, history, stream, _ := viewData(t, 83, 1008, 144, 50)
+	var mu sync.Mutex
+	var got []Alarm
+	m := NewMonitor(Config{
+		Workers:   2,
+		BatchSize: 36,
+		OnAlarm: func(a Alarm) {
+			mu.Lock()
+			got = append(got, a)
+			mu.Unlock()
+		},
+	})
+	defer m.Close()
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("v", stream); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("callback saw no alarms")
+	}
+	if taken := m.TakeAlarms(); len(taken) != 0 {
+		t.Fatalf("internal buffer used despite callback: %d", len(taken))
+	}
+}
+
+func TestMonitorSynchronousProcessBatch(t *testing.T) {
+	topo, history, stream, _ := viewData(t, 84, 1008, 144, 50)
+	m := NewMonitor(Config{Workers: 2})
+	defer m.Close()
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	alarms, err := m.ProcessBatch("v", stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range alarms {
+		if a.Seq == 50 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("synchronous batch missed the spike; alarms: %+v", alarms)
+	}
+}
+
+func TestMonitorFinalBatchRefitFailureReachesErrs(t *testing.T) {
+	// Drive a view's window degenerate with a batch of identical rows so
+	// the background refit triggered by the final batch fails; nothing
+	// is processed afterwards, so only Errs' harvest can surface it.
+	const bins, links = 40, 6
+	history := mat.Zeros(bins, links)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < links; j++ {
+			history.Set(i, j, 100+10*float64((i*7+j*3)%13))
+		}
+	}
+	means := history.ColMeans()
+	constant := mat.Zeros(bins, links)
+	for i := 0; i < bins; i++ {
+		constant.SetRow(i, means)
+	}
+	m := NewMonitor(Config{Workers: 1, BatchSize: bins, Window: bins, RefitEvery: bins})
+	if err := m.AddView("v", history, mat.Identity(links)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("v", constant); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	if errs := m.Errs(); len(errs) != 1 {
+		t.Fatalf("final-batch refit failure not harvested: %v", errs)
+	}
+	// Harvesting clears it; a second call reports nothing new.
+	if errs := m.Errs(); len(errs) != 1 {
+		t.Fatalf("harvested error not retained exactly once: %v", errs)
+	}
+	m.Close()
+}
+
+func TestMonitorErrors(t *testing.T) {
+	topo, history, stream, _ := viewData(t, 85, 300, 12, -1)
+	m := NewMonitor(Config{})
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate view not rejected: %v", err)
+	}
+	if err := m.Ingest("nope", stream); err == nil {
+		t.Fatal("unknown view accepted")
+	}
+	if err := m.Ingest("v", mat.Zeros(4, 3)); err == nil {
+		t.Fatal("mis-sized batch accepted")
+	}
+	m.Close()
+	if err := m.Ingest("v", stream); err == nil {
+		t.Fatal("ingest after Close accepted")
+	}
+	if err := m.AddView("w", history, topo.RoutingMatrix()); err == nil {
+		t.Fatal("AddView after Close accepted")
+	}
+	m.Close() // idempotent
+}

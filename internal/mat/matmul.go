@@ -1,0 +1,241 @@
+package mat
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file holds the dense multiplication kernels behind Mul, MulInto and
+// Gram. The kernels are tuned for the shapes the subspace method produces:
+// tall measurement matrices (t ~ 1000 bins) times small square operators
+// (m <= a few hundred links). Three levels are applied as the problem
+// grows:
+//
+//  1. a k-unrolled streaming kernel that accumulates four B rows per pass
+//     over the output row (good instruction-level parallelism, one pass
+//     of memory traffic over C per four inner products);
+//  2. column blocking so the active slice of B stays cache-resident when
+//     the output is wide;
+//  3. a goroutine fan-out over row stripes once the multiply is large
+//     enough to amortize scheduling (MulParallelCutoff fused multiply-adds).
+
+const (
+	// mulColBlock is the number of output columns processed per blocked
+	// pass; 256 columns of float64 (2 KiB per B row) keep four B rows and
+	// the C row within L1.
+	mulColBlock = 256
+	// MulParallelCutoff is the fused multiply-add count above which the
+	// kernels fan row stripes across goroutines. Below it the scheduling
+	// overhead outweighs the parallelism.
+	MulParallelCutoff = 1 << 20
+)
+
+// Mul returns the matrix product a*b.
+func Mul(a, b *Dense) *Dense {
+	c := Zeros(a.rows, b.cols)
+	MulInto(c, a, b)
+	return c
+}
+
+// MulInto computes a*b into the preallocated dst, overwriting its previous
+// contents. dst must be a.rows x b.cols and must not alias a or b. It
+// exists so hot paths (batched SPE, model refits) can reuse an output
+// buffer instead of allocating one per call.
+func MulInto(dst, a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: MulInto dst is %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	flops := a.rows * a.cols * b.cols
+	workers := parallelWorkers(flops)
+	if workers <= 1 {
+		mulStripe(dst, a, b, 0, a.rows)
+		return
+	}
+	parallelRows(a.rows, workers, func(i0, i1 int) {
+		mulStripe(dst, a, b, i0, i1)
+	})
+}
+
+// mulStripe computes rows [i0,i1) of dst = a*b with the blocked,
+// k-unrolled kernel. Distinct stripes touch disjoint rows of dst, so
+// stripes may run concurrently.
+func mulStripe(dst, a, b *Dense, i0, i1 int) {
+	for j0 := 0; j0 < b.cols; j0 += mulColBlock {
+		j1 := j0 + mulColBlock
+		if j1 > b.cols {
+			j1 = b.cols
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.data[i*a.cols : (i+1)*a.cols]
+			crow := dst.data[i*dst.cols+j0 : i*dst.cols+j1]
+			var k int
+			for ; k+4 <= a.cols; k += 4 {
+				a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.data[k*b.cols+j0 : k*b.cols+j1]
+				b1 := b.data[(k+1)*b.cols+j0 : (k+1)*b.cols+j1]
+				b2 := b.data[(k+2)*b.cols+j0 : (k+2)*b.cols+j1]
+				b3 := b.data[(k+3)*b.cols+j0 : (k+3)*b.cols+j1]
+				for j := range crow {
+					crow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; k < a.cols; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				brow := b.data[k*b.cols+j0 : k*b.cols+j1]
+				for j := range crow {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// Gram returns m^T * m, the (cols x cols) Gram matrix. For a mean-centered
+// measurement matrix Y this is proportional to the covariance matrix. Only
+// the upper triangle is accumulated (the product is symmetric) and tall
+// inputs are reduced across row stripes in parallel.
+//
+// Unlike MulInto — where each output row is computed by exactly one
+// goroutine in an order-independent way — Gram's parallel path sums
+// per-stripe partial matrices, so the floating-point reduction order
+// depends on the stripe count. The stripe count is therefore derived
+// from the input shape alone (gramStripes), never from GOMAXPROCS:
+// the same matrix produces bit-identical covariances — and downstream
+// eigenvalues, ranks and thresholds — on any machine, preserving the
+// package's seed-determinism guarantee.
+func (m *Dense) Gram() *Dense {
+	g := Zeros(m.cols, m.cols)
+	flops := m.rows * m.cols * (m.cols + 1) / 2
+	workers := gramStripes(flops)
+	if workers <= 1 {
+		gramStripe(g, m, 0, m.rows)
+	} else {
+		// Each worker accumulates a private partial Gram over its row
+		// stripe; the partials sum into g afterwards (the reduction is
+		// O(workers * cols^2), negligible next to the O(rows * cols^2)
+		// accumulation).
+		partials := make([]*Dense, workers)
+		var wg sync.WaitGroup
+		chunk := (m.rows + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			i0 := w * chunk
+			i1 := i0 + chunk
+			if i1 > m.rows {
+				i1 = m.rows
+			}
+			if i0 >= i1 {
+				break
+			}
+			p := Zeros(m.cols, m.cols)
+			partials[w] = p
+			wg.Add(1)
+			go func(p *Dense, i0, i1 int) {
+				defer wg.Done()
+				gramStripe(p, m, i0, i1)
+			}(p, i0, i1)
+		}
+		wg.Wait()
+		for _, p := range partials {
+			if p == nil {
+				continue
+			}
+			for i, v := range p.data {
+				g.data[i] += v
+			}
+		}
+	}
+	// Mirror the accumulated upper triangle into the lower.
+	for a := 1; a < g.rows; a++ {
+		for b := 0; b < a; b++ {
+			g.data[a*g.cols+b] = g.data[b*g.cols+a]
+		}
+	}
+	return g
+}
+
+// gramStripe accumulates the upper triangle of rows[i0:i1]^T * rows[i0:i1]
+// into g.
+func gramStripe(g, m *Dense, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for a, va := range row {
+			if va == 0 {
+				continue
+			}
+			grow := g.data[a*g.cols : (a+1)*g.cols]
+			for b := a; b < len(row); b++ {
+				grow[b] += va * row[b]
+			}
+		}
+	}
+}
+
+// parallelWorkers returns how many goroutines a row-parallel kernel of
+// the given fused multiply-add count should use: 1 below
+// MulParallelCutoff or on a single CPU, otherwise up to GOMAXPROCS.
+// Only safe for kernels whose result is independent of the stripe
+// split (each output row written by one goroutine, like MulInto).
+func parallelWorkers(flops int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 || flops < MulParallelCutoff {
+		return 1
+	}
+	workers := flops / MulParallelCutoff
+	if workers < 2 {
+		workers = 2
+	}
+	if workers > procs {
+		workers = procs
+	}
+	return workers
+}
+
+// gramStripes returns the partial-reduction stripe count for Gram: a
+// pure function of the workload size (capped at 8) so the summation
+// grouping — and thus the result's last bits — never varies with the
+// host's core count.
+func gramStripes(flops int) int {
+	if flops < MulParallelCutoff {
+		return 1
+	}
+	stripes := flops / MulParallelCutoff
+	if stripes > 8 {
+		stripes = 8
+	}
+	if stripes < 2 {
+		stripes = 2
+	}
+	return stripes
+}
+
+// parallelRows splits [0,rows) into one contiguous stripe per worker and
+// runs f on each stripe concurrently, returning when all complete.
+func parallelRows(rows, workers int, f func(i0, i1 int)) {
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < rows; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > rows {
+			i1 = rows
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			f(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}

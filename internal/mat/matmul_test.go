@@ -1,0 +1,128 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mulNaive is the reference triple loop the kernels must reproduce.
+func mulNaive(a, b *Dense) *Dense {
+	c := Zeros(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			var s float64
+			for k := 0; k < a.cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func TestMulMatchesNaiveAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Shapes chosen to cross the unroll remainder (cols % 4 != 0), the
+	// column-block boundary, and typical subspace-method sizes.
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{8, 8, 8},
+		{17, 13, 9},
+		{40, 41, 41},
+		{100, 49, 300}, // spans two column blocks
+		{257, 10, 260},
+	}
+	for _, s := range shapes {
+		a := randomDense(rng, s.m, s.k)
+		b := randomDense(rng, s.k, s.n)
+		got := Mul(a, b)
+		want := mulNaive(a, b)
+		if !EqualApprox(got, want, 1e-10) {
+			t.Fatalf("Mul mismatch at %dx%d * %dx%d", s.m, s.k, s.n, s.n)
+		}
+	}
+}
+
+func TestMulStripeParallelMatchesSerial(t *testing.T) {
+	// Exercise the parallel fan-out directly so the test does not depend
+	// on GOMAXPROCS or the size cutoff.
+	rng := rand.New(rand.NewSource(8))
+	a := randomDense(rng, 123, 61)
+	b := randomDense(rng, 61, 37)
+	want := Mul(a, b)
+	got := Zeros(123, 37)
+	parallelRows(123, 4, func(i0, i1 int) {
+		mulStripe(got, a, b, i0, i1)
+	})
+	if !EqualApprox(got, want, 1e-12) {
+		t.Fatal("parallel stripes disagree with serial multiply")
+	}
+}
+
+func TestMulIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomDense(rng, 12, 20)
+	b := randomDense(rng, 20, 6)
+	dst := randomDense(rng, 12, 6) // stale contents must be overwritten
+	MulInto(dst, a, b)
+	if !EqualApprox(dst, mulNaive(a, b), 1e-10) {
+		t.Fatal("MulInto did not overwrite dst with the product")
+	}
+}
+
+func TestMulIntoPanicsOnBadDst(t *testing.T) {
+	a := Zeros(3, 4)
+	b := Zeros(4, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched dst")
+		}
+	}()
+	MulInto(Zeros(3, 4), a, b)
+}
+
+func TestGramMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, shape := range []struct{ r, c int }{{5, 3}, {100, 49}, {7, 1}, {1, 6}} {
+		m := randomDense(rng, shape.r, shape.c)
+		got := m.Gram()
+		want := mulNaive(m.T(), m)
+		if !EqualApprox(got, want, 1e-9) {
+			t.Fatalf("Gram mismatch at %dx%d", shape.r, shape.c)
+		}
+	}
+}
+
+func TestGramStripeReduction(t *testing.T) {
+	// The partial-Gram reduction used by the parallel path must equal the
+	// single-stripe accumulation.
+	rng := rand.New(rand.NewSource(11))
+	m := randomDense(rng, 90, 13)
+	whole := Zeros(13, 13)
+	gramStripe(whole, m, 0, 90)
+	parts := Zeros(13, 13)
+	for _, seg := range [][2]int{{0, 31}, {31, 64}, {64, 90}} {
+		p := Zeros(13, 13)
+		gramStripe(p, m, seg[0], seg[1])
+		for i, v := range p.data {
+			parts.data[i] += v
+		}
+	}
+	if !EqualApprox(whole, parts, 1e-12) {
+		t.Fatal("stripe reduction disagrees with whole-matrix accumulation")
+	}
+}
+
+func BenchmarkMulPaperRefit(b *testing.B) {
+	// The shape of the refit's heavy products: window x links times a
+	// links-square operator.
+	rng := rand.New(rand.NewSource(12))
+	a := randomDense(rng, 1008, 49)
+	op := randomDense(rng, 49, 49)
+	dst := Zeros(1008, 49)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, a, op)
+	}
+}

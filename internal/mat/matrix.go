@@ -79,6 +79,11 @@ func (m *Dense) checkIndex(i, j int) {
 	}
 }
 
+// RawData returns the row-major backing slice of m. Mutations are visible
+// in m. Kernels that stream whole matrices (batched SPE, the blocked
+// multiply) use it to avoid per-row slicing in their inner loops.
+func (m *Dense) RawData() []float64 { return m.data }
+
 // RowView returns a slice aliasing row i. Mutations are visible in m.
 func (m *Dense) RowView(i int) []float64 {
 	if i < 0 || i >= m.rows {
@@ -141,28 +146,6 @@ func (m *Dense) T() *Dense {
 		}
 	}
 	return t
-}
-
-// Mul returns the matrix product a*b.
-func Mul(a, b *Dense) *Dense {
-	if a.cols != b.rows {
-		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
-	}
-	c := Zeros(a.rows, b.cols)
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		crow := c.data[i*c.cols : (i+1)*c.cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c
 }
 
 // MulVec returns the matrix-vector product a*x.
@@ -310,25 +293,6 @@ func (m *Dense) CenterColumns() []float64 {
 		}
 	}
 	return means
-}
-
-// Gram returns m^T * m, the (cols x cols) Gram matrix. For a mean-centered
-// measurement matrix Y this is proportional to the covariance matrix.
-func (m *Dense) Gram() *Dense {
-	g := Zeros(m.cols, m.cols)
-	for i := 0; i < m.rows; i++ {
-		row := m.data[i*m.cols : (i+1)*m.cols]
-		for a, va := range row {
-			if va == 0 {
-				continue
-			}
-			grow := g.data[a*g.cols : (a+1)*g.cols]
-			for b, vb := range row {
-				grow[b] += va * vb
-			}
-		}
-	}
-	return g
 }
 
 // String renders the matrix for debugging. Large matrices are elided.

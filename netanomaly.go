@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"netanomaly/internal/core"
+	"netanomaly/internal/engine"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/topology"
 	"netanomaly/internal/traffic"
@@ -117,6 +118,39 @@ func NewOnlineDetector(history *Matrix, topo *Topology, cfg OnlineConfig) (*Onli
 		return nil, fmt.Errorf("netanomaly: history has %d links, topology has %d", m, topo.NumLinks())
 	}
 	return core.NewOnlineDetector(history, topo.RoutingMatrix(), cfg)
+}
+
+// Monitor is the concurrent streaming detection engine: one detector
+// shard per registered traffic view, measurement batches fanned across a
+// worker pool, model refits in the background with an atomic swap so
+// ingestion never stalls. Use it when monitoring several topologies or
+// vantage points (or one high-rate stream in batches); for a single
+// stream processed bin by bin, OnlineDetector is simpler.
+type Monitor = engine.Monitor
+
+// MonitorConfig configures NewMonitor; the zero value gives GOMAXPROCS
+// workers, 64-bin batches and the paper's detection defaults.
+type MonitorConfig = engine.Config
+
+// MonitorAlarm is a diagnosed anomaly tagged with the view that raised
+// it.
+type MonitorAlarm = engine.Alarm
+
+// NewMonitor starts a streaming detection engine with no views. Register
+// views with AddTopologyView (or Monitor.AddView with an explicit
+// routing matrix) and feed them with Monitor.Ingest.
+func NewMonitor(cfg MonitorConfig) *Monitor { return engine.NewMonitor(cfg) }
+
+// AddTopologyView registers a detector shard on the monitor for a
+// topology's measurement stream: history (bins x links) seeds the model
+// and sliding window, and the topology's routing matrix drives
+// identification.
+func AddTopologyView(m *Monitor, name string, history *Matrix, topo *Topology) error {
+	_, links := history.Dims()
+	if links != topo.NumLinks() {
+		return fmt.Errorf("netanomaly: history has %d links, topology has %d", links, topo.NumLinks())
+	}
+	return m.AddView(name, history, topo.RoutingMatrix())
 }
 
 // MultiFlowCandidates builds the candidate sets for multi-flow anomaly
