@@ -7,14 +7,25 @@
 //
 // With -stream the command runs the concurrent engine instead of a
 // one-shot fit: the first -history bins seed the model, the remaining
-// bins are ingested in -batch sized blocks through a streaming Monitor
-// shard, alarms print as they are raised, and the model refits in the
-// background every -refit bins without stalling ingestion.
+// bins are replayed as a live measurement channel through a streaming
+// Monitor shard, alarms print as they are raised, and the model refits
+// in the background every -refit bins without stalling ingestion. The
+// -detector flag selects the shard's backend:
 //
-//	diagnose -topology abilene -links links.csv -stream -history 1008 -refit 288
+//	subspace     windowed subspace method (default)
+//	incremental  covariance-tracking refits, -lambda forgetting,
+//	             -drift-tol rebuild gate
+//	multiscale   one model per wavelet scale (-levels), region alarms
+//	multiflow    one model per metric with voting (-metrics names the
+//	             CSV's stacked column blocks, -quorum the vote); write
+//	             such a CSV with trafficgen -metrics
+//
+//	diagnose -topology abilene -links links.csv -stream -history 1008 \
+//	    -refit 288 -detector incremental -lambda 0.999
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +43,14 @@ func main() {
 	rank := flag.Int("rank", 0, "fixed normal-subspace rank (0 = 3-sigma rule)")
 	stream := flag.Bool("stream", false, "stream bins through the concurrent engine instead of a one-shot fit")
 	historyBins := flag.Int("history", 1008, "streaming: bins that seed the model (the paper's week is 1008)")
-	batchSize := flag.Int("batch", 64, "streaming: bins per ingested batch")
+	batchSize := flag.Int("batch", 64, "streaming: bins per dispatched batch")
 	refitEvery := flag.Int("refit", 0, "streaming: background-refit interval in bins (0 = never)")
+	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, or multiflow")
+	lambda := flag.Float64("lambda", 1, "incremental: covariance forgetting factor in (0,1]")
+	driftTol := flag.Float64("drift-tol", 0, "incremental: min residual-projector drift before a rebuild swaps in (0 = always)")
+	levels := flag.Int("levels", 3, "multiscale: wavelet depth")
+	metrics := flag.String("metrics", "bytes,flows,pktsize", "multiflow: names of the CSV's stacked metric blocks")
+	quorum := flag.Int("quorum", 1, "multiflow: how many metrics must flag a bin")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
@@ -46,13 +63,24 @@ func main() {
 	}
 	opts := netanomaly.Options{Confidence: *confidence, Rank: *rank}
 	if *stream {
-		runStream(topo, links, *historyBins, *batchSize, *refitEvery, opts)
+		sc := streamConfig{
+			history:    *historyBins,
+			batch:      *batchSize,
+			refitEvery: *refitEvery,
+			kind:       netanomaly.DetectorKind(*detector),
+			lambda:     *lambda,
+			driftTol:   *driftTol,
+			levels:     *levels,
+			metrics:    strings.Split(*metrics, ","),
+			quorum:     *quorum,
+		}
+		runStream(topo, links, sc, opts)
 		return
 	}
-	diag, err := netanomaly.NewDiagnoser(links, topo, netanomaly.Options{
-		Confidence: *confidence,
-		Rank:       *rank,
-	})
+	if *detector != string(netanomaly.DetectorSubspace) {
+		fatal(fmt.Errorf("-detector %s needs -stream; the one-shot fit is always the subspace method", *detector))
+	}
+	diag, err := netanomaly.NewDiagnoser(links, topo, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -64,68 +92,113 @@ func main() {
 		fmt.Println("no anomalies detected")
 		return
 	}
-	fmt.Printf("%6s %14s %14s %-16s %14s\n", "bin", "SPE", "threshold", "flow", "bytes")
+	printHeader()
 	for _, r := range results {
-		fmt.Printf("%6d %14.4g %14.4g %-16s %14.4g\n",
-			r.Bin, r.SPE, r.Threshold, topo.FlowName(r.Flow), r.Bytes)
+		printAlarm(topo, r.Bin, r)
 	}
 	fmt.Printf("%d anomalies over %d bins\n", len(results), links.Rows())
 }
 
-// runStream seeds a Monitor shard on the first historyBins rows and
-// ingests the rest in batches, printing alarms as workers raise them.
-func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, historyBins, batchSize, refitEvery int, opts netanomaly.Options) {
+type streamConfig struct {
+	history    int
+	batch      int
+	refitEvery int
+	kind       netanomaly.DetectorKind
+	lambda     float64
+	driftTol   float64
+	levels     int
+	metrics    []string
+	quorum     int
+}
+
+// runStream seeds a Monitor shard on the first history rows and replays
+// the rest as a live measurement channel, printing alarms as workers
+// raise them.
+func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamConfig, opts netanomaly.Options) {
 	bins, m := links.Dims()
-	if historyBins < m {
-		fatal(fmt.Errorf("streaming needs at least %d history bins (one per link), have %d", m, historyBins))
+	if sc.history < m {
+		fatal(fmt.Errorf("streaming needs at least %d history bins (one per measurement column), have %d", m, sc.history))
 	}
-	if historyBins >= bins {
-		fatal(fmt.Errorf("history (%d bins) leaves nothing to stream (%d bins total)", historyBins, bins))
+	if sc.history >= bins {
+		fatal(fmt.Errorf("history (%d bins) leaves nothing to stream (%d bins total)", sc.history, bins))
 	}
-	if batchSize <= 0 {
-		batchSize = 64 // engine default; normalized here so the banner matches
+	if sc.batch <= 0 {
+		sc.batch = 64 // engine default; normalized here so the banner matches
 	}
-	// The detector copies seed rows into its ring, so the history view can
-	// alias the loaded matrix.
-	history := netanomaly.NewMatrix(historyBins, m, links.RawData()[:historyBins*m])
+	viewOpts := []netanomaly.ViewOption{netanomaly.WithDetector(sc.kind)}
+	switch sc.kind {
+	case netanomaly.DetectorIncremental:
+		viewOpts = append(viewOpts, netanomaly.WithLambda(sc.lambda), netanomaly.WithDriftTolerance(sc.driftTol))
+	case netanomaly.DetectorMultiscale:
+		viewOpts = append(viewOpts, netanomaly.WithLevels(sc.levels))
+	case netanomaly.DetectorMultiFlow:
+		viewOpts = append(viewOpts, netanomaly.WithMetrics(sc.metrics...), netanomaly.WithQuorum(sc.quorum))
+	}
+	// The detectors copy seed rows into their own state, so the history
+	// view can alias the loaded matrix.
+	history := netanomaly.NewMatrix(sc.history, m, links.RawData()[:sc.history*m])
 	// OnAlarm may be invoked concurrently from multiple workers; the mutex
 	// keeps the count exact and the output lines unscrambled.
 	var alarmMu sync.Mutex
 	alarms := 0
 	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
-		BatchSize:  batchSize,
-		RefitEvery: refitEvery,
+		BatchSize:  sc.batch,
+		RefitEvery: sc.refitEvery,
 		Options:    opts,
 		OnAlarm: func(a netanomaly.MonitorAlarm) {
 			alarmMu.Lock()
 			defer alarmMu.Unlock()
 			alarms++
 			// Seq counts from the first streamed bin; print absolute bins.
-			fmt.Printf("%6d %14.4g %14.4g %-16s %14.4g\n",
-				historyBins+a.Seq, a.SPE, a.Threshold, topo.FlowName(a.Flow), a.Bytes)
+			printAlarm(topo, sc.history+a.Seq, a.Diagnosis)
 		},
 	})
 	const view = "stream"
-	if err := netanomaly.AddTopologyView(mon, view, history, topo); err != nil {
+	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
 		fatal(err)
 	}
-	det, err := mon.Detector(view)
+	stats, err := mon.ViewStats(view)
 	if err != nil {
 		fatal(err)
 	}
-	model := det.Diagnoser().Detector().Model()
-	fmt.Printf("streaming: model seeded on %d bins (%d links, rank %d), %d bins to go in batches of %d\n",
-		historyBins, model.NumLinks(), model.Rank(), bins-historyBins, batchSize)
-	fmt.Printf("%6s %14s %14s %-16s %14s\n", "bin", "SPE", "threshold", "flow", "bytes")
-	rest := netanomaly.NewMatrix(bins-historyBins, m, links.RawData()[historyBins*m:])
-	if err := mon.Ingest(view, rest); err != nil {
-		fatal(err)
+	rankNote := fmt.Sprintf("rank %d", stats.Rank)
+	if stats.Rank == 0 {
+		rankNote = "per-scale models"
+	}
+	fmt.Printf("streaming: %s model seeded on %d bins (%d measurement columns, %s), %d bins to go in batches of %d\n",
+		stats.Backend, sc.history, stats.Links, rankNote, bins-sc.history, sc.batch)
+	printHeader()
+	rest := netanomaly.NewMatrix(bins-sc.history, m, links.RawData()[sc.history*m:])
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	failed := false
+	if err := mon.IngestStream(view, netanomaly.StreamMatrix(ctx, rest, 0)); err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		failed = true
 	}
 	mon.Close()
 	for _, err := range mon.Errs() {
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		failed = true
 	}
-	fmt.Printf("%d alarms over %d streamed bins\n", alarms, bins-historyBins)
+	fmt.Printf("%d alarms over %d streamed bins\n", alarms, bins-sc.history)
+	if failed {
+		// Scripted callers check the exit code; an aborted or
+		// error-laden run must not look like a clean, anomaly-free pass.
+		os.Exit(1)
+	}
+}
+
+func printHeader() {
+	fmt.Printf("%6s %14s %14s %-16s %14s\n", "bin", "SPE", "threshold", "flow", "bytes")
+}
+
+func printAlarm(topo *netanomaly.Topology, bin int, d netanomaly.Diagnosis) {
+	flow := "-" // multiscale alarms localize in time, not to a flow
+	if d.Flow >= 0 {
+		flow = topo.FlowName(d.Flow)
+	}
+	fmt.Printf("%6d %14.4g %14.4g %-16s %14.4g\n", bin, d.SPE, d.Threshold, flow, d.Bytes)
 }
 
 func parseTopology(name string) (*netanomaly.Topology, error) {

@@ -4,6 +4,11 @@
 // flag). The link CSV is the input cmd/diagnose consumes; the OD CSV is
 // ground truth for validation.
 //
+// With -metrics the link CSV additionally carries the Section 7.2
+// metric series (IP-flow counts and mean packet size) column-stacked
+// after the byte counts — the input cmd/diagnose consumes with
+// -detector multiflow.
+//
 //	trafficgen -topology abilene -seed 42 -bins 1008 \
 //	    -anomaly 24,500,9e7 -od od.csv -links links.csv
 package main
@@ -51,6 +56,7 @@ func main() {
 	total := flag.Float64("total", 0, "network-wide mean bytes per bin (0 = default)")
 	odPath := flag.String("od", "", "write OD-flow matrix CSV here (optional)")
 	linksPath := flag.String("links", "links.csv", "write link-load matrix CSV here")
+	withMetrics := flag.Bool("metrics", false, "stack flow-count and packet-size metrics after the byte columns (for diagnose -detector multiflow)")
 	flag.Var(&anomalies, "anomaly", "inject flow,bin,delta (repeatable)")
 	flag.Parse()
 
@@ -69,6 +75,17 @@ func main() {
 	}
 	netanomaly.InjectAnomalies(od, anomalies)
 	links := netanomaly.LinkLoads(topo, od)
+	metricNote := ""
+	if *withMetrics {
+		ms, err := netanomaly.DeriveLinkMetrics(topo, od, netanomaly.LinkMetricConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if links, err = ms.Stacked(); err != nil {
+			fatal(err)
+		}
+		metricNote = " x 3 metrics (bytes, flows, pktsize)"
+	}
 
 	if *odPath != "" {
 		names := make([]string, topo.NumFlows())
@@ -85,11 +102,20 @@ func main() {
 	for i, l := range topo.Links() {
 		linkNames[i] = pops[l.Src].Name + "-" + pops[l.Dst].Name
 	}
+	if *withMetrics {
+		stacked := make([]string, 0, 3*len(linkNames))
+		for _, metric := range []string{"bytes", "flows", "pktsize"} {
+			for _, ln := range linkNames {
+				stacked = append(stacked, metric+":"+ln)
+			}
+		}
+		linkNames = stacked
+	}
 	if err := netanomaly.SaveMatrixCSV(*linksPath, links, linkNames); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d x %d link matrix to %s (%s: %d PoPs, %d links, %d flows)\n",
-		*bins, topo.NumLinks(), *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows())
+	fmt.Printf("wrote %d x %d link matrix%s to %s (%s: %d PoPs, %d links, %d flows)\n",
+		*bins, topo.NumLinks(), metricNote, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows())
 	for _, a := range anomalies {
 		fmt.Printf("injected %.3g bytes into flow %s at bin %d\n", a.Delta, topo.FlowName(a.Flow), a.Bin)
 	}

@@ -42,15 +42,17 @@
 // model in force. ProcessBatch pushes a whole bins x links block through
 // the batched low-rank SPE kernel (O(m*rank) per bin instead of O(m^2)).
 //
-// Monitor (internal/engine, surfaced as NewMonitor/AddTopologyView) is
-// the scale-out layer: one detector shard per registered traffic view
+// Monitor (internal/engine, surfaced as NewMonitor/AddView) is the
+// scale-out layer: one detector shard per registered traffic view
 // (topology, vantage point, customer network), measurement batches
 // fanned across a fixed worker pool. Batches within a view are processed
 // strictly in ingest order — sequence numbers match arrival — while
 // different views run concurrently; a refit in one view never stalls
 // ingestion in any view. Use Monitor when tracking several topologies or
 // feeding one high-rate stream in batches; use OnlineDetector directly
-// for a simple bin-by-bin loop.
+// for a simple bin-by-bin loop. IngestStream consumes a live measurement
+// channel (StreamMatrix, or any collector producing LinkMeasurement)
+// and keeps the batched hot path hot for bin-at-a-time sources.
 //
 //	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
 //	    RefitEvery: 1008,
@@ -58,16 +60,58 @@
 //	        log.Printf("%s: bin %d flow %d ~%.0f bytes", a.View, a.Seq, a.Flow, a.Bytes)
 //	    },
 //	})
-//	_ = netanomaly.AddTopologyView(mon, "backbone", history, topo)
+//	_ = netanomaly.AddView(mon, "backbone", history, topo)
 //	_ = mon.Ingest("backbone", batch) // asynchronous; Flush() to drain
+//
+// # Detector backends
+//
+// The paper's method is a family, not one detector, and every member
+// streams behind the same ViewDetector interface (Seed / ProcessBatch /
+// Refit / Stats), so one Monitor can mix backends freely. AddView
+// selects the implementation per view:
+//
+//   - DetectorSubspace (default): the windowed subspace method above.
+//     Pick it when you want the paper's exact semantics, per-bin flow
+//     identification, and refit cost is acceptable (full SVD over the
+//     window).
+//   - DetectorIncremental (WithLambda, WithDriftTolerance): maintains a
+//     running mean/covariance with forgetting factor lambda instead of
+//     a raw window — batch updates are rank-1 and allocation-free, and
+//     a rebuild solves only the m x m eigenproblem (about 5x cheaper
+//     than the window SVD at m=120, see BenchmarkIncrementalRefit), so
+//     it scales to large link counts and frequent refits. Lambda 1
+//     reproduces the batch fit exactly (and flags the same bins as the
+//     subspace backend on the same trace); 0.999 forgets with roughly a
+//     one-week time constant at ten-minute bins — use it when traffic
+//     drifts. WithDriftTolerance skips rebuild swaps while the residual
+//     projector has moved less than the tolerance, exploiting the
+//     paper's observation that P P^T is stable week to week.
+//   - DetectorMultiscale (WithLevels): one subspace model per wavelet
+//     scale (Section 7.3). Levels = 3 tests 2-, 4- and 8-bin features;
+//     each extra level needs twice the history (links * 2^levels seed
+//     bins minimum) and adds detection latency of up to 2^levels bins.
+//     It catches sustained, slowly building anomalies that single-bin
+//     detectors miss; alarms localize in time (Flow is -1), so pair it
+//     with a subspace shard on the same view for identification.
+//   - DetectorMultiFlow (WithMetrics, WithQuorum): one subspace model
+//     per traffic metric — bytes, IP-flow counts, mean packet size
+//     (Section 7.2) — over shared routing, with history and batches
+//     column-stacked (DeriveLinkMetrics / StackMatrices). Quorum 1
+//     (default) alarms when any metric flags a bin, which is what
+//     catches port scans and small-flow DDoS that move flow counts
+//     without moving bytes; raise the quorum to demand agreement and
+//     suppress single-metric noise.
 //
 // Everything is deterministic in the provided seeds and uses only the
 // standard library. The subpackages under internal/ implement the
 // substrates: dense linear algebra (internal/mat, with blocked and
 // goroutine-parallel multiply kernels), network topology and routing
 // (internal/topology), the traffic model (internal/traffic), the
-// simulated measurement plane (internal/netmeas), temporal baselines
-// (internal/timeseries), the subspace method itself (internal/core), the
-// concurrent streaming engine (internal/engine), and the paper's full
-// evaluation (internal/eval, internal/experiments).
+// simulated measurement plane and the multi-metric backend
+// (internal/netmeas), temporal baselines (internal/timeseries), the
+// subspace method, the ViewDetector contract and the incremental
+// backend (internal/core), the wavelet transform and the multiscale
+// backend (internal/wavelet), the concurrent streaming engine
+// (internal/engine), and the paper's full evaluation (internal/eval,
+// internal/experiments).
 package netanomaly

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"netanomaly/internal/mat"
+)
+
+// IncrementalConfig configures NewIncrementalDetector.
+type IncrementalConfig struct {
+	// Lambda is the covariance forgetting factor in (0, 1]; 1 (the
+	// default) weights all history equally, smaller values forget with
+	// time constant ~1/(1-Lambda) bins (0.999 ~ a week of ten-minute
+	// bins).
+	Lambda float64
+	// RefitEvery triggers a background model rebuild from the tracked
+	// covariance after this many processed bins; 0 disables automatic
+	// rebuilds (call Refit explicitly).
+	RefitEvery int
+	// DriftTol gates automatic rebuilds: the freshly solved model
+	// replaces the active one only when the Frobenius distance between
+	// their residual projectors reaches DriftTol (the paper observes
+	// P P^T is stable week to week, so most intervals need no new
+	// model). 0 swaps on every interval. Explicit Refit ignores the
+	// gate.
+	DriftTol float64
+	// Options configure the diagnoser (confidence, sigma, fixed rank).
+	Options Options
+}
+
+// IncrementalDetector is the streaming subspace backend that maintains
+// its model from an exponentially weighted mean/covariance estimate
+// (CovTracker) instead of a sliding window of raw measurements. Each
+// batch makes rank-1 covariance updates in place — no window snapshot
+// copy — and a rebuild re-solves only the small m x m symmetric
+// eigenproblem rather than the O(t·m^2) full-window SVD, which is what
+// makes frequent refits affordable at scale (Section 7.1's "cheap
+// model refresh"). The normal-subspace rank is resolved once at seed
+// time with the paper's separation procedure on the seed history (a
+// running covariance has no temporal projections to separate on) and
+// retained across rebuilds unless Options.Rank pins it.
+//
+// Concurrency follows OnlineDetector: the active Diagnoser sits behind
+// an atomic pointer that ProcessBatch loads lock-free, rebuilds run on
+// a tracker snapshot in a background goroutine, and a failed rebuild
+// keeps the previous model in force and surfaces its error on a later
+// call.
+type IncrementalDetector struct {
+	a        *mat.Dense
+	opts     Options
+	links    int
+	lambda   float64
+	driftTol float64
+
+	diag atomic.Pointer[Diagnoser]
+
+	mu         sync.Mutex // guards the fields below
+	tracker    *CovTracker
+	rank       int
+	processed  int
+	sinceRefit int
+	refitEvery int
+	refitting  bool
+	refitDone  *sync.Cond // on mu
+	refitErr   error
+	refits     int
+	// skipped counts drift-gated intervals where a candidate model was
+	// solved but found too close to the active one to swap.
+	skipped   int
+	refitHook func()
+}
+
+var _ ViewDetector = (*IncrementalDetector)(nil)
+
+// NewIncrementalDetector seeds the model with a full batch fit on
+// history (bins x links) — identical to the subspace backend's seed, so
+// the two start from the same model — and initializes the covariance
+// tracker from the same rows. routing (links x flows) drives
+// identification.
+func NewIncrementalDetector(history, a *mat.Dense, cfg IncrementalConfig) (*IncrementalDetector, error) {
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1
+	}
+	cfg.Options.fillDefaults()
+	t, links := history.Dims()
+	if t < 2 {
+		return nil, ErrTooFewSamples
+	}
+	diag, err := NewDiagnoser(history, a, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := NewCovTracker(links, cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	tracker.UpdateAll(history)
+	d := &IncrementalDetector{
+		a:          a,
+		opts:       cfg.Options,
+		links:      links,
+		lambda:     cfg.Lambda,
+		driftTol:   cfg.DriftTol,
+		tracker:    tracker,
+		rank:       diag.Detector().Model().Rank(),
+		refitEvery: cfg.RefitEvery,
+	}
+	d.refitDone = sync.NewCond(&d.mu)
+	d.diag.Store(diag)
+	return d, nil
+}
+
+// SetRefitHook installs a function that runs inside every background
+// rebuild goroutine before solving begins; tests use it to hold a
+// rebuild open. Call before streaming starts.
+func (d *IncrementalDetector) SetRefitHook(h func()) { d.refitHook = h }
+
+// diagnoserFromTracker solves the m x m eigenproblem on a tracker
+// snapshot and assembles the full pipeline at the given rank. With
+// lambda = 1 the tracked covariance is the population estimate (divide
+// by n); the variances are rescaled to the sample convention (divide by
+// n-1) so thresholds match the batch SVD fit exactly.
+func (d *IncrementalDetector) diagnoserFromTracker(tr *CovTracker, rank int) (*Diagnoser, error) {
+	p, err := tr.PCA()
+	if err != nil {
+		return nil, err
+	}
+	if d.lambda == 1 && tr.Count() > 1 {
+		bias := float64(tr.Count()) / float64(tr.Count()-1)
+		for i := range p.Variances {
+			p.Variances[i] *= bias
+		}
+	}
+	model, err := Build(p, rank)
+	if err != nil {
+		return nil, err
+	}
+	det, err := NewDetector(model, d.opts.Confidence)
+	if err != nil {
+		return nil, err
+	}
+	id, err := NewIdentifier(model, d.a)
+	if err != nil {
+		return nil, err
+	}
+	return &Diagnoser{det: det, id: id}, nil
+}
+
+// ProcessBatch tests a block of measurements (bins x links) against the
+// active model, absorbs the non-anomalous rows into the covariance
+// tracker, and schedules a background rebuild when the refit interval
+// has elapsed. Alarms carry sequence numbers continuing the
+// per-detector count; a deferred rebuild failure is reported alongside
+// the batch's detections.
+func (d *IncrementalDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
+	bins, cols := y.Dims()
+	if cols != d.links {
+		return nil, fmt.Errorf("core: batch has %d links, detector expects %d", cols, d.links)
+	}
+	diags, flags := d.diag.Load().DiagnoseBatch(y)
+
+	d.mu.Lock()
+	base := d.processed
+	d.processed += bins
+	var alarms []Alarm
+	for b := 0; b < bins; b++ {
+		if flags[b] {
+			diag := diags[b]
+			diag.Bin = base + b
+			alarms = append(alarms, Alarm{Seq: base + b, Diagnosis: diag})
+		}
+	}
+	// Anomalous bins are withheld from the tracked model, mirroring the
+	// window exclusion of the subspace backend.
+	d.tracker.UpdateMasked(y, flags)
+	err := d.refitErr
+	d.refitErr = nil
+	var snap *CovTracker
+	rank := d.rank
+	if d.refitEvery > 0 {
+		d.sinceRefit += bins
+		if d.sinceRefit >= d.refitEvery && !d.refitting {
+			d.sinceRefit = 0
+			d.refitting = true
+			snap = d.tracker.Snapshot()
+		}
+	}
+	d.mu.Unlock()
+
+	if snap != nil {
+		d.spawnRebuild(snap, rank)
+	}
+	return alarms, err
+}
+
+// spawnRebuild solves a candidate model from the tracker snapshot in a
+// background goroutine and swaps it in when it has drifted at least
+// DriftTol from the model active at decision time (always, when
+// DriftTol is 0). The caller has already set d.refitting; the goroutine
+// releases it after the swap decision so fits never interleave.
+func (d *IncrementalDetector) spawnRebuild(snap *CovTracker, rank int) {
+	go func() {
+		if h := d.refitHook; h != nil {
+			h()
+		}
+		cand, err := d.diagnoserFromTracker(snap, rank)
+		swap := err == nil
+		if swap && d.driftTol > 0 {
+			// Measure drift against the model active now, not the one
+			// active when the batch was processed: an explicit Refit or
+			// Seed may have swapped in a fresher reference since.
+			drift := mat.Sub(
+				d.diag.Load().Detector().Model().ResidualOperator(),
+				cand.Detector().Model().ResidualOperator(),
+			).Frobenius()
+			swap = drift >= d.driftTol
+		}
+		if swap {
+			d.diag.Store(cand)
+		}
+		d.mu.Lock()
+		d.refitting = false
+		switch {
+		case err != nil:
+			d.refitErr = fmt.Errorf("core: incremental rebuild: %w", err)
+		case swap:
+			d.refits++
+		default:
+			d.skipped++
+		}
+		d.refitDone.Broadcast()
+		d.mu.Unlock()
+	}()
+}
+
+// Refit synchronously rebuilds the model from the current tracker state,
+// bypassing the drift gate. It serializes with background rebuilds but
+// never blocks concurrent detection (the eigensolve runs on a snapshot
+// outside the lock; streaming keeps hitting the previous model until the
+// atomic swap). A failed rebuild leaves the previous model in force.
+func (d *IncrementalDetector) Refit() error {
+	d.mu.Lock()
+	for d.refitting {
+		d.refitDone.Wait()
+	}
+	d.refitting = true
+	snap := d.tracker.Snapshot()
+	rank := d.rank
+	d.mu.Unlock()
+
+	cand, err := d.diagnoserFromTracker(snap, rank)
+	if err == nil {
+		d.diag.Store(cand)
+	} else {
+		err = fmt.Errorf("core: incremental rebuild: %w", err)
+	}
+
+	d.mu.Lock()
+	d.refitting = false
+	if err == nil {
+		d.refits++
+	}
+	d.refitDone.Broadcast()
+	d.mu.Unlock()
+	return err
+}
+
+// Seed resets the covariance tracker to the history block and refits
+// the model with a full batch fit on it, re-resolving the rank exactly
+// as construction does. It serializes with in-flight rebuilds; the
+// processed-bin counter keeps running.
+func (d *IncrementalDetector) Seed(history *mat.Dense) error {
+	t, links := history.Dims()
+	if links != d.links {
+		return fmt.Errorf("core: seed history has %d links, detector expects %d", links, d.links)
+	}
+	if t < 2 {
+		return ErrTooFewSamples
+	}
+	d.mu.Lock()
+	for d.refitting {
+		d.refitDone.Wait()
+	}
+	d.refitting = true
+	d.mu.Unlock()
+
+	diag, err := NewDiagnoser(history, d.a, d.opts)
+	var tracker *CovTracker
+	if err == nil {
+		if tracker, err = NewCovTracker(links, d.lambda); err == nil {
+			tracker.UpdateAll(history)
+			d.diag.Store(diag)
+		}
+	}
+	if err != nil {
+		err = fmt.Errorf("core: incremental seed: %w", err)
+	}
+
+	d.mu.Lock()
+	d.refitting = false
+	if err == nil {
+		d.tracker = tracker
+		d.rank = diag.Detector().Model().Rank()
+		d.sinceRefit = 0
+		d.refits++
+	}
+	d.refitDone.Broadcast()
+	d.mu.Unlock()
+	return err
+}
+
+// WaitRefits blocks until no rebuild is in flight.
+func (d *IncrementalDetector) WaitRefits() {
+	d.mu.Lock()
+	for d.refitting {
+		d.refitDone.Wait()
+	}
+	d.mu.Unlock()
+}
+
+// TakeRefitError returns and clears the deferred error from the last
+// failed background rebuild, if any.
+func (d *IncrementalDetector) TakeRefitError() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.refitErr
+	d.refitErr = nil
+	return err
+}
+
+// Stats reports the detector's current state. Refits counts swapped-in
+// rebuilds; drift-gated intervals that solved a candidate but kept the
+// active model are visible through SkippedRebuilds.
+func (d *IncrementalDetector) Stats() ViewStats {
+	d.mu.Lock()
+	processed, refits := d.processed, d.refits
+	d.mu.Unlock()
+	return ViewStats{
+		Backend:   "incremental",
+		Links:     d.links,
+		Processed: processed,
+		Rank:      d.diag.Load().Detector().Model().Rank(),
+		Refits:    refits,
+	}
+}
+
+// SkippedRebuilds returns how many automatic rebuild intervals solved a
+// candidate model but left the active one in place because the subspace
+// had drifted less than DriftTol.
+func (d *IncrementalDetector) SkippedRebuilds() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.skipped
+}
+
+// Diagnoser returns the currently active model pipeline.
+func (d *IncrementalDetector) Diagnoser() *Diagnoser { return d.diag.Load() }

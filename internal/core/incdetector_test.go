@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+	"netanomaly/internal/traffic"
+)
+
+// streamDataset splits a generated trace into a seed history and a
+// continuation stream with spikes injected at the given stream offsets
+// (flow 9, 9e7 bytes — comfortably detectable on Abilene).
+func streamDataset(t *testing.T, seed int64, historyBins, streamBins int, spikes []int) (*topology.Topology, *mat.Dense, *mat.Dense, int) {
+	t.Helper()
+	topo := topology.Abilene()
+	cfg := traffic.DefaultConfig(seed)
+	cfg.Bins = historyBins + streamBins
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate()
+	const flow = 9
+	for _, s := range spikes {
+		x.Set(historyBins+s, flow, x.At(historyBins+s, flow)+9e7)
+	}
+	y := traffic.LinkLoads(topo, x)
+	links := topo.NumLinks()
+	history := mat.Zeros(historyBins, links)
+	for b := 0; b < historyBins; b++ {
+		history.SetRow(b, y.RowView(b))
+	}
+	stream := mat.Zeros(streamBins, links)
+	for b := 0; b < streamBins; b++ {
+		stream.SetRow(b, y.RowView(historyBins+b))
+	}
+	return topo, history, stream, flow
+}
+
+func alarmSeqs(alarms []Alarm) map[int]bool {
+	out := make(map[int]bool, len(alarms))
+	for _, a := range alarms {
+		out[a.Seq] = true
+	}
+	return out
+}
+
+// TestIncrementalAgreesWithOnline is the cross-backend agreement check:
+// with lambda = 1, the same seed history, a full-history window on the
+// subspace backend, and synchronized explicit refits, the incremental
+// detector must flag exactly the bins the windowed OnlineDetector flags
+// on the same trace — the tracked-covariance eigensolve and the window
+// SVD are the same model up to round-off.
+func TestIncrementalAgreesWithOnline(t *testing.T) {
+	const historyBins, streamBins = 1008, 288
+	topo, history, stream, flow := streamDataset(t, 60, historyBins, streamBins, []int{40, 150, 260})
+	routing := topo.RoutingMatrix()
+
+	online, err := NewOnlineDetector(history, routing, OnlineConfig{Window: historyBins + streamBins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewIncrementalDetector(history, routing, IncrementalConfig{Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := inc.Stats().Rank, online.Stats().Rank; got != want {
+		t.Fatalf("seed ranks differ: incremental %d, online %d", got, want)
+	}
+
+	var onlineAlarms, incAlarms []Alarm
+	half := streamBins / 2
+	for _, span := range [][2]int{{0, half}, {half, streamBins}} {
+		chunk := mat.NewDense(span[1]-span[0], stream.Cols(), stream.RawData()[span[0]*stream.Cols():span[1]*stream.Cols()])
+		oa, err := online.ProcessBatch(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ia, err := inc.ProcessBatch(chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlineAlarms = append(onlineAlarms, oa...)
+		incAlarms = append(incAlarms, ia...)
+		// Refit both synchronously at the same point so the models stay
+		// in lockstep (background refits would swap at racy times).
+		if err := online.Refit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Refit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, want := alarmSeqs(incAlarms), alarmSeqs(onlineAlarms)
+	if len(got) != len(want) {
+		t.Fatalf("flagged bins differ: incremental %v, online %v", got, want)
+	}
+	for seq := range want {
+		if !got[seq] {
+			t.Fatalf("incremental missed bin %d flagged by online; incremental %v, online %v", seq, got, want)
+		}
+	}
+	for _, spike := range []int{40, 150, 260} {
+		if !got[spike] {
+			t.Fatalf("injected spike at %d not flagged; flagged %v", spike, got)
+		}
+	}
+	for _, a := range incAlarms {
+		if a.Seq == 40 && a.Flow != flow {
+			t.Fatalf("spike identified flow %d want %d", a.Flow, flow)
+		}
+	}
+}
+
+func TestIncrementalBackgroundRebuildAndDriftGate(t *testing.T) {
+	const historyBins, streamBins = 504, 240
+	topo, history, stream, _ := streamDataset(t, 61, historyBins, streamBins, nil)
+	routing := topo.RoutingMatrix()
+
+	// DriftTol 0: every interval swaps a rebuilt model in.
+	always, err := NewIncrementalDetector(history, routing, IncrementalConfig{Lambda: 1, RefitEvery: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A huge DriftTol: candidates are solved but never swapped — the
+	// traffic is stationary, so the subspace barely moves.
+	gated, err := NewIncrementalDetector(history, routing, IncrementalConfig{Lambda: 1, RefitEvery: 60, DriftTol: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*IncrementalDetector{always, gated} {
+		for b := 0; b < streamBins; b += 60 {
+			chunk := mat.NewDense(60, stream.Cols(), stream.RawData()[b*stream.Cols():(b+60)*stream.Cols()])
+			if _, err := d.ProcessBatch(chunk); err != nil {
+				t.Fatal(err)
+			}
+			d.WaitRefits()
+		}
+		if err := d.TakeRefitError(); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Stats().Processed; got != streamBins {
+			t.Fatalf("processed %d want %d", got, streamBins)
+		}
+	}
+	if always.Stats().Refits == 0 {
+		t.Fatal("DriftTol=0 detector never swapped a rebuilt model")
+	}
+	if always.SkippedRebuilds() != 0 {
+		t.Fatalf("DriftTol=0 detector skipped %d rebuilds", always.SkippedRebuilds())
+	}
+	if gated.Stats().Refits != 0 {
+		t.Fatalf("gated detector swapped %d models despite stationary traffic", gated.Stats().Refits)
+	}
+	if gated.SkippedRebuilds() == 0 {
+		t.Fatal("gated detector never exercised the drift gate")
+	}
+}
+
+func TestIncrementalSeedAndValidation(t *testing.T) {
+	_, history, stream, _ := streamDataset(t, 62, 504, 60, nil)
+	routing := topology.Abilene().RoutingMatrix()
+	d, err := NewIncrementalDetector(history, routing, IncrementalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProcessBatch(mat.Zeros(4, 3)); err == nil {
+		t.Fatal("mis-sized batch accepted")
+	}
+	if _, err := d.ProcessBatch(stream); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if err := d.Seed(mat.Zeros(10, 3)); err == nil {
+		t.Fatal("mis-sized seed accepted")
+	}
+	if err := d.Seed(history); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Stats()
+	if after.Processed != before.Processed {
+		t.Fatalf("Seed reset the processed counter: %d -> %d", before.Processed, after.Processed)
+	}
+	if after.Refits != before.Refits+1 {
+		t.Fatalf("Seed did not count as a refit: %d -> %d", before.Refits, after.Refits)
+	}
+}
+
+func TestCovTrackerUpdateMasked(t *testing.T) {
+	_, _, y := testDataset(t, 63, 64)
+	_, dim := y.Dims()
+	skip := make([]bool, 64)
+	for b := 0; b < 64; b += 5 {
+		skip[b] = true
+	}
+	masked, _ := NewCovTracker(dim, 1)
+	masked.UpdateMasked(y, skip)
+	manual, _ := NewCovTracker(dim, 1)
+	for b := 0; b < 64; b++ {
+		if !skip[b] {
+			manual.Update(y.RowView(b))
+		}
+	}
+	if masked.Count() != manual.Count() {
+		t.Fatalf("masked count %d want %d", masked.Count(), manual.Count())
+	}
+	if !mat.EqualApprox(masked.Covariance(), manual.Covariance(), 1e-12) {
+		t.Fatal("masked covariance diverges from row-by-row exclusion")
+	}
+}
+
+// TestCovTrackerUpdateAllAllocFree pins the satellite requirement: a
+// whole-batch absorb must not allocate per bin (all scratch lives on
+// the tracker).
+func TestCovTrackerUpdateAllAllocFree(t *testing.T) {
+	_, _, y := testDataset(t, 64, 128)
+	_, dim := y.Dims()
+	tr, _ := NewCovTracker(dim, 0.999)
+	tr.UpdateAll(y) // warm up
+	allocs := testing.AllocsPerRun(5, func() {
+		tr.UpdateAll(y)
+	})
+	if allocs > 0 {
+		t.Fatalf("UpdateAll allocates %.1f times per batch", allocs)
+	}
+}

@@ -19,6 +19,10 @@ type CovTracker struct {
 	n      int
 	mean   []float64
 	cov    *mat.Dense
+	// delta and delta2 are scratch for Update so the per-bin rank-1 pass
+	// allocates nothing: batched ingest calls UpdateAll once per block
+	// and must not churn the garbage collector per bin.
+	delta, delta2 []float64
 }
 
 // NewCovTracker returns a tracker for dim-dimensional measurements with
@@ -37,7 +41,24 @@ func NewCovTracker(dim int, lambda float64) (*CovTracker, error) {
 		lambda: lambda,
 		mean:   make([]float64, dim),
 		cov:    mat.Zeros(dim, dim),
+		delta:  make([]float64, dim),
+		delta2: make([]float64, dim),
 	}, nil
+}
+
+// Snapshot returns an independent copy of the tracker's current state,
+// so a background model rebuild can work from a consistent mean and
+// covariance while streaming updates continue on the original.
+func (c *CovTracker) Snapshot() *CovTracker {
+	return &CovTracker{
+		dim:    c.dim,
+		lambda: c.lambda,
+		n:      c.n,
+		mean:   mat.CloneVec(c.mean),
+		cov:    c.cov.Clone(),
+		delta:  make([]float64, c.dim),
+		delta2: make([]float64, c.dim),
+	}
 }
 
 // Count returns the number of observations absorbed.
@@ -62,24 +83,63 @@ func (c *CovTracker) Update(y []float64) {
 	} else {
 		w = 1 - c.lambda
 	}
-	delta := mat.SubVec(y, c.mean)
-	mat.AddScaled(c.mean, w, delta)
-	delta2 := mat.SubVec(y, c.mean)
-	// cov <- (1-w)*cov + w*delta*delta2^T
+	delta, delta2 := c.delta, c.delta2
+	for i, v := range y {
+		delta[i] = v - c.mean[i]
+		c.mean[i] += w * delta[i]
+		delta2[i] = v - c.mean[i]
+	}
+	// cov <- (1-w)*cov + w*delta*delta2^T, fused over rows: the inner
+	// loop runs over one contiguous covariance row with both scale and
+	// rank-1 accumulation in a single pass.
+	cov := c.cov.RawData()
+	decay := 1 - w
 	for i := 0; i < c.dim; i++ {
-		row := c.cov.RowView(i)
-		di := delta[i]
-		for j := 0; j < c.dim; j++ {
-			row[j] = (1-w)*row[j] + w*di*delta2[j]
+		row := cov[i*c.dim : (i+1)*c.dim]
+		wdi := w * delta[i]
+		for j, d2 := range delta2 {
+			row[j] = decay*row[j] + wdi*d2
 		}
 	}
 }
 
-// UpdateAll absorbs every row of a measurement matrix.
+// UpdateAll absorbs every row of a measurement matrix. The covariance
+// recursion is inherently sequential (each row's deltas depend on the
+// mean after the previous row), so the fusion is within the per-row
+// pass: all scratch is preallocated on the tracker and a whole batch
+// allocates nothing.
 func (c *CovTracker) UpdateAll(y *mat.Dense) {
-	rows, _ := y.Dims()
+	rows, cols := y.Dims()
+	if cols != c.dim {
+		panic(fmt.Sprintf("core: tracker batch width %d != dim %d", cols, c.dim))
+	}
+	data := y.RawData()
 	for b := 0; b < rows; b++ {
-		c.Update(y.RowView(b))
+		c.Update(data[b*cols : (b+1)*cols])
+	}
+}
+
+// UpdateMasked absorbs the rows of y whose skip flag is false — the
+// streaming path uses it to withhold anomalous bins from the tracked
+// model, mirroring the window exclusion of the subspace backend. A nil
+// skip absorbs every row.
+func (c *CovTracker) UpdateMasked(y *mat.Dense, skip []bool) {
+	rows, cols := y.Dims()
+	if cols != c.dim {
+		panic(fmt.Sprintf("core: tracker batch width %d != dim %d", cols, c.dim))
+	}
+	if skip == nil {
+		c.UpdateAll(y)
+		return
+	}
+	if len(skip) != rows {
+		panic(fmt.Sprintf("core: tracker mask length %d != rows %d", len(skip), rows))
+	}
+	data := y.RawData()
+	for b := 0; b < rows; b++ {
+		if !skip[b] {
+			c.Update(data[b*cols : (b+1)*cols])
+		}
 	}
 }
 

@@ -33,7 +33,7 @@ type OnlineDetector struct {
 	diag atomic.Pointer[Diagnoser]
 
 	mu         sync.Mutex // guards the fields below
-	window     *ring
+	window     *mat.RowRing
 	processed  int
 	sinceRefit int
 	refitEvery int
@@ -44,6 +44,7 @@ type OnlineDetector struct {
 	refitting bool
 	refitDone *sync.Cond // on mu
 	refitErr  error      // deferred error from the last failed background refit
+	refits    int        // completed model rebuilds since creation
 
 	// refitHook, when set (before streaming starts), runs inside the
 	// background refit goroutine before fitting begins. Tests use it to
@@ -51,49 +52,14 @@ type OnlineDetector struct {
 	refitHook func()
 }
 
-// ring is a fixed-capacity row buffer for measurement vectors with a
-// fixed column count. Rows live in one flat preallocated slice, so a
-// push is a plain copy into the next slot — no per-bin allocation and
-// nothing for the garbage collector to scan on the streaming hot path.
-type ring struct {
-	data     []float64 // capacity*cols, row-major
-	capacity int
-	cols     int
-	next     int
-	count    int
-}
+// assert the streaming contract at compile time.
+var _ ViewDetector = (*OnlineDetector)(nil)
 
-func newRing(capacity, cols int) *ring {
-	return &ring{data: make([]float64, capacity*cols), capacity: capacity, cols: cols}
-}
-
-func (r *ring) push(row []float64) {
-	if len(row) != r.cols {
-		panic(fmt.Sprintf("core: ring row length %d != %d", len(row), r.cols))
-	}
-	copy(r.data[r.next*r.cols:(r.next+1)*r.cols], row)
-	r.next = (r.next + 1) % r.capacity
-	if r.count < r.capacity {
-		r.count++
-	}
-}
-
-// matrix returns the buffered rows, oldest first, as a dense matrix: the
-// two wrapped stripes of the flat buffer, copied in order.
-func (r *ring) matrix() *mat.Dense {
-	if r.count == 0 {
-		return nil
-	}
-	m := mat.Zeros(r.count, r.cols)
-	out := m.RawData()
-	start := 0
-	if r.count == r.capacity {
-		start = r.next
-	}
-	tail := copy(out, r.data[start*r.cols:r.count*r.cols])
-	copy(out[tail:], r.data[:start*r.cols])
-	return m
-}
+// SetRefitHook installs a function that runs inside every background
+// refit goroutine before fitting begins. It exists so tests outside this
+// package can hold a refit open deterministically; call it before
+// streaming starts.
+func (o *OnlineDetector) SetRefitHook(h func()) { o.refitHook = h }
 
 // OnlineConfig configures NewOnlineDetector.
 type OnlineConfig struct {
@@ -120,11 +86,11 @@ func NewOnlineDetector(history, a *mat.Dense, cfg OnlineConfig) (*OnlineDetector
 	}
 	o := &OnlineDetector{a: a, opts: cfg.Options, links: links, refitEvery: cfg.RefitEvery}
 	o.refitDone = sync.NewCond(&o.mu)
-	o.window = newRing(cfg.Window, links)
+	o.window = mat.NewRowRing(cfg.Window, links)
 	for b := t - cfg.Window; b < t; b++ {
-		o.window.push(history.RowView(b))
+		o.window.Push(history.RowView(b))
 	}
-	diag, err := NewDiagnoser(o.window.matrix(), a, o.opts)
+	diag, err := NewDiagnoser(o.window.Matrix(), a, o.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +127,7 @@ func (o *OnlineDetector) Process(y []float64) (Alarm, bool, error) {
 	// on normal traffic; one contaminated week changed results little,
 	// but exclusion is the conservative choice).
 	if !anomalous {
-		o.window.push(y)
+		o.window.Push(y)
 	}
 	err := o.refitErr
 	o.refitErr = nil
@@ -196,7 +162,7 @@ func (o *OnlineDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
 			d.Bin = base + b
 			alarms = append(alarms, Alarm{Seq: base + b, Diagnosis: d})
 		} else {
-			o.window.push(y.RowView(b))
+			o.window.Push(y.RowView(b))
 		}
 	}
 	err := o.refitErr
@@ -224,7 +190,7 @@ func (o *OnlineDetector) maybeSnapshotLocked(n int) *mat.Dense {
 	}
 	o.sinceRefit = 0
 	o.refitting = true
-	return o.window.matrix()
+	return o.window.Matrix()
 }
 
 // spawnRefit fits a new model on the snapshot in a background goroutine
@@ -245,6 +211,8 @@ func (o *OnlineDetector) spawnRefit(w *mat.Dense) {
 		o.refitting = false
 		if err != nil {
 			o.refitErr = fmt.Errorf("core: online refit: %w", err)
+		} else {
+			o.refits++
 		}
 		o.refitDone.Broadcast()
 		o.mu.Unlock()
@@ -264,7 +232,7 @@ func (o *OnlineDetector) Refit() error {
 		o.refitDone.Wait()
 	}
 	o.refitting = true
-	w := o.window.matrix()
+	w := o.window.Matrix()
 	o.mu.Unlock()
 
 	var diag *Diagnoser
@@ -279,9 +247,80 @@ func (o *OnlineDetector) Refit() error {
 
 	o.mu.Lock()
 	o.refitting = false
+	if err == nil {
+		o.refits++
+	}
 	o.refitDone.Broadcast()
 	o.mu.Unlock()
 	return err
+}
+
+// Seed replaces the sliding window with (the most recent Window rows
+// of) history and synchronously refits the model on it, serializing
+// with any in-flight background refit. The replacement window and model
+// are built off to the side and committed together only when the fit
+// succeeds: a history that cannot be fitted leaves both the active
+// model and the healthy window untouched. The processed-bin counter
+// keeps running.
+func (o *OnlineDetector) Seed(history *mat.Dense) error {
+	t, links := history.Dims()
+	if links != o.links {
+		return fmt.Errorf("core: seed history has %d links, detector expects %d", links, o.links)
+	}
+	if t == 0 {
+		return fmt.Errorf("core: seed history is empty")
+	}
+	o.mu.Lock()
+	for o.refitting {
+		o.refitDone.Wait()
+	}
+	o.refitting = true
+	capacity := o.window.Cap()
+	o.mu.Unlock()
+
+	window := mat.NewRowRing(capacity, o.links)
+	start := t - capacity
+	if start < 0 {
+		start = 0
+	}
+	for b := start; b < t; b++ {
+		window.Push(history.RowView(b))
+	}
+	diag, err := NewDiagnoser(window.Matrix(), o.a, o.opts)
+	if err == nil {
+		o.diag.Store(diag)
+	} else {
+		err = fmt.Errorf("core: online seed: %w", err)
+	}
+
+	o.mu.Lock()
+	o.refitting = false
+	if err == nil {
+		o.window = window
+		o.refits++
+		// The model is freshly fitted; restart the automatic-refit
+		// clock so the next interval is not spent refitting the window
+		// that was just seeded.
+		o.sinceRefit = 0
+	}
+	o.refitDone.Broadcast()
+	o.mu.Unlock()
+	return err
+}
+
+// Stats reports the detector's current state under the streaming
+// contract.
+func (o *OnlineDetector) Stats() ViewStats {
+	o.mu.Lock()
+	processed, refits := o.processed, o.refits
+	o.mu.Unlock()
+	return ViewStats{
+		Backend:   "subspace",
+		Links:     o.links,
+		Processed: processed,
+		Rank:      o.diag.Load().Detector().Model().Rank(),
+		Refits:    refits,
+	}
 }
 
 // WaitRefits blocks until no model fit is in flight. Safe to call while

@@ -121,38 +121,6 @@ func TestOnlineDetectorConcurrentProcess(t *testing.T) {
 	}
 }
 
-func TestRingBuffer(t *testing.T) {
-	r := newRing(3, 2)
-	if r.matrix() != nil {
-		t.Fatal("empty ring must return nil matrix")
-	}
-	r.push([]float64{1, 1})
-	r.push([]float64{2, 2})
-	m := r.matrix()
-	if m.Rows() != 2 || m.At(0, 0) != 1 || m.At(1, 0) != 2 {
-		t.Fatalf("partial ring matrix wrong: %v", m)
-	}
-	r.push([]float64{3, 3})
-	r.push([]float64{4, 4}) // evicts 1
-	m = r.matrix()
-	if m.Rows() != 3 {
-		t.Fatalf("full ring rows = %d", m.Rows())
-	}
-	if m.At(0, 0) != 2 || m.At(2, 0) != 4 {
-		t.Fatalf("ring order wrong: %v", m)
-	}
-}
-
-func TestRingRejectsMismatchedRow(t *testing.T) {
-	r := newRing(3, 2)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for mismatched row length")
-		}
-	}()
-	r.push([]float64{1, 2, 3})
-}
-
 func TestOnlineDetectorRejectsBadLength(t *testing.T) {
 	topo, _, y := testDataset(t, 65, 432)
 	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 432})
@@ -397,5 +365,29 @@ func TestOnlineDetectorConcurrentBatchesAndRefits(t *testing.T) {
 	od.WaitRefits()
 	if od.Processed() != 3*60+5*12 {
 		t.Fatalf("Processed = %d want %d", od.Processed(), 3*60+5*12)
+	}
+}
+
+func TestOnlineSeedFailureKeepsWindowAndModel(t *testing.T) {
+	topo, _, y := testDataset(t, 66, 432)
+	od, err := NewOnlineDetector(y, topo.RoutingMatrix(), OnlineConfig{Window: 432})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := od.Diagnoser()
+	// One row cannot be fitted; the error must not destroy the healthy
+	// window or the active model.
+	if err := od.Seed(mat.NewDense(1, y.Cols(), y.RawData()[:y.Cols()])); err == nil {
+		t.Fatal("unfittable seed accepted")
+	}
+	if od.Diagnoser() != before {
+		t.Fatal("failed Seed replaced the active model")
+	}
+	if err := od.Refit(); err != nil {
+		t.Fatalf("window destroyed by failed Seed: refit errors with %v", err)
+	}
+	// A good Seed still works afterwards.
+	if err := od.Seed(y); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,17 +1,21 @@
-// Package engine runs the subspace method as a concurrent streaming
-// detection service. A Monitor owns one detector shard per traffic view
-// (a topology, a vantage point, a customer network — anything with its
-// own routing matrix and measurement stream) and fans measurement
-// batches across a fixed worker pool. Each shard is a non-blocking
-// core.OnlineDetector: detection inside a shard runs against an
-// atomically swapped model, so a model refit in one view never stalls
-// ingestion in any view. The batched hot path (DiagnoseBatch) tests a
-// whole bins x links block in one matrix pass, which is what makes the
-// engine's per-bin cost a fraction of the serial per-vector loop.
+// Package engine runs the paper's detector family as a concurrent
+// streaming detection service. A Monitor owns one detector shard per
+// traffic view (a topology, a vantage point, a customer network —
+// anything with its own routing matrix and measurement stream) and fans
+// measurement batches across a fixed worker pool. A shard holds any
+// core.ViewDetector — the windowed subspace method, the incremental
+// covariance-tracking variant, the multiscale wavelet detector, or the
+// multi-metric voter — so heterogeneous backends run side by side in
+// one pool. Every backend is non-blocking by contract: detection inside
+// a shard runs against an atomically swapped model, so a model refit in
+// one view never stalls ingestion in any view. The batched hot path
+// tests a whole bins x links block in one matrix pass, which is what
+// makes the engine's per-bin cost a fraction of the serial per-vector
+// loop.
 //
 // The Monitor is the scale-out layer the ROADMAP's "first-level online
-// monitor" needs; for a single stream with no fan-out requirements,
-// core.OnlineDetector alone is simpler.
+// monitor" needs; for a single stream with no fan-out requirements, a
+// core.ViewDetector alone is simpler.
 package engine
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"netanomaly/internal/core"
 	"netanomaly/internal/mat"
+	"netanomaly/internal/netmeas"
 )
 
 // Config parameterizes a Monitor. The zero value is usable: defaults are
@@ -71,7 +76,14 @@ type Alarm struct {
 type shard struct {
 	name  string
 	links int
-	det   *core.OnlineDetector
+	det   core.ViewDetector
+
+	// procMu serializes detector ProcessBatch calls between the owning
+	// worker and synchronous Monitor.ProcessBatch, upholding the
+	// one-ProcessBatch-caller-at-a-time guarantee the ViewDetector
+	// contract promises backends even when a user mixes Ingest and
+	// ProcessBatch on one view.
+	procMu sync.Mutex
 
 	qmu   sync.Mutex
 	queue []*mat.Dense
@@ -143,6 +155,12 @@ func (m *Monitor) waitPending() {
 	m.pendMu.Unlock()
 }
 
+// Config returns the monitor's effective configuration (defaults filled
+// in), so backend factories outside this package can seed detectors
+// with the same window, refit cadence and diagnosis options the default
+// subspace shards get.
+func (m *Monitor) Config() Config { return m.cfg }
+
 // NewMonitor starts the worker pool and returns an empty Monitor.
 func NewMonitor(cfg Config) *Monitor {
 	cfg.fillDefaults()
@@ -184,7 +202,9 @@ func (m *Monitor) worker() {
 		s.queue = s.queue[1:]
 		s.qmu.Unlock()
 
+		s.procMu.Lock()
 		alarms, err := s.det.ProcessBatch(batch)
+		s.procMu.Unlock()
 		if err != nil {
 			s.recordErr(err)
 		}
@@ -226,9 +246,11 @@ func (m *Monitor) emit(a Alarm) {
 	m.alarmMu.Unlock()
 }
 
-// AddView registers a detector shard. history (bins x links) seeds the
-// model and sliding window; routing (links x flows) drives
-// identification. Views can be added while the monitor is running.
+// AddView registers a subspace detector shard — the default backend.
+// history (bins x links) seeds the model and sliding window; routing
+// (links x flows) drives identification. Views can be added while the
+// monitor is running. For a different backend, construct any
+// core.ViewDetector and register it with AddDetectorView.
 func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
 	window := m.cfg.Window
 	if window <= 0 {
@@ -242,6 +264,19 @@ func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
 	if err != nil {
 		return fmt.Errorf("engine: view %q: %w", name, err)
 	}
+	return m.AddDetectorView(name, det)
+}
+
+// AddDetectorView registers a shard running an arbitrary streaming
+// backend — the subspace, incremental, multiscale and multi-metric
+// detectors all satisfy core.ViewDetector, and one Monitor can mix
+// them freely. The detector must already be seeded; its Stats().Links
+// fixes the batch width the view accepts.
+func (m *Monitor) AddDetectorView(name string, det core.ViewDetector) error {
+	links := det.Stats().Links
+	if links <= 0 {
+		return fmt.Errorf("engine: view %q: detector reports %d links", name, links)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -250,7 +285,7 @@ func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
 	if _, dup := m.shards[name]; dup {
 		return fmt.Errorf("engine: duplicate view %q", name)
 	}
-	m.shards[name] = &shard{name: name, links: history.Cols(), det: det}
+	m.shards[name] = &shard{name: name, links: links, det: det}
 	return nil
 }
 
@@ -296,18 +331,71 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 	return nil
 }
 
+// IngestStream consumes a live measurement channel (as produced by
+// netmeas.Stream) and feeds the view until the channel closes,
+// accumulating arrivals into BatchSize blocks so the batched hot path
+// stays hot even for bin-at-a-time sources. It blocks the calling
+// goroutine for the life of the stream — run one IngestStream goroutine
+// per source — and returns after the final partial batch is queued, or
+// on the first error (mis-sized measurement, monitor closed); on error
+// the caller should cancel the context driving the stream so the
+// producer goroutine does not block forever on an undrained channel.
+// Like Ingest, it queues work asynchronously: call Flush to wait for
+// processing.
+func (m *Monitor) IngestStream(view string, ch <-chan netmeas.LinkMeasurement) error {
+	s, err := m.lookup(view)
+	if err != nil {
+		return err
+	}
+	batch := m.cfg.BatchSize
+	buf := mat.Zeros(batch, s.links)
+	rows := 0
+	flush := func() error {
+		if rows == 0 {
+			return nil
+		}
+		chunk := mat.NewDense(rows, s.links, buf.RawData()[:rows*s.links])
+		rows = 0
+		// The queue aliases ingested batches until processed, so each
+		// flushed chunk needs its own backing array.
+		buf = mat.Zeros(batch, s.links)
+		return m.Ingest(view, chunk)
+	}
+	for meas := range ch {
+		if len(meas.Loads) != s.links {
+			err := fmt.Errorf("engine: view %q: stream measurement has %d links, want %d", view, len(meas.Loads), s.links)
+			if ferr := flush(); ferr != nil {
+				return ferr
+			}
+			return err
+		}
+		buf.SetRow(rows, meas.Loads)
+		rows++
+		if rows == batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
 // ProcessBatch runs a batch through the view's shard synchronously on
-// the caller's goroutine (bypassing the queue) and returns the raised
-// alarms, which are also delivered to OnAlarm/TakeAlarms. The batch's
-// alarms are returned even when err is non-nil: the detector reports
-// deferred background-refit failures alongside valid detections, and
-// dropping the detections would lose real anomalies.
+// the caller's goroutine (bypassing the queue — it may jump ahead of
+// batches still queued by Ingest, though it never interleaves with
+// them mid-batch) and returns the raised alarms, which are also
+// delivered to OnAlarm/TakeAlarms. The batch's alarms are returned
+// even when err is non-nil: the detector reports deferred
+// background-refit failures alongside valid detections, and dropping
+// the detections would lose real anomalies.
 func (m *Monitor) ProcessBatch(view string, batch *mat.Dense) ([]Alarm, error) {
 	s, err := m.lookup(view)
 	if err != nil {
 		return nil, err
 	}
+	s.procMu.Lock()
 	raw, err := s.det.ProcessBatch(batch)
+	s.procMu.Unlock()
 	out := make([]Alarm, len(raw))
 	for i, a := range raw {
 		out[i] = Alarm{View: view, Alarm: a}
@@ -332,21 +420,33 @@ func (m *Monitor) lookup(view string) (*shard, error) {
 	return s, nil
 }
 
+// snapshotShards returns the current shard set under the monitor lock.
+func (m *Monitor) snapshotShards() []*shard {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	shards := make([]*shard, 0, len(m.shards))
+	for _, s := range m.shards {
+		shards = append(shards, s)
+	}
+	return shards
+}
+
+// drainRefits waits out every in-flight background refit. It must run
+// only after the queued work that could spawn refits has been processed
+// (waitPending), so no new fit can start between the per-shard waits.
+func (m *Monitor) drainRefits() {
+	for _, s := range m.snapshotShards() {
+		s.det.WaitRefits()
+	}
+}
+
 // Flush blocks until every queued batch has been processed and every
 // background refit launched so far has completed. Ingest may continue
 // from other goroutines, in which case Flush covers at least the work
 // queued before the call.
 func (m *Monitor) Flush() {
 	m.waitPending()
-	m.mu.Lock()
-	shards := make([]*shard, 0, len(m.shards))
-	for _, s := range m.shards {
-		shards = append(shards, s)
-	}
-	m.mu.Unlock()
-	for _, s := range shards {
-		s.det.WaitRefits()
-	}
+	m.drainRefits()
 }
 
 // TakeAlarms returns the alarms accumulated since the last call and
@@ -366,14 +466,8 @@ func (m *Monitor) TakeAlarms() []Alarm {
 // Process call would ever surface — so call it after Flush or Close to
 // get the complete picture.
 func (m *Monitor) Errs() []error {
-	m.mu.Lock()
-	shards := make([]*shard, 0, len(m.shards))
-	for _, s := range m.shards {
-		shards = append(shards, s)
-	}
-	m.mu.Unlock()
 	var out []error
-	for _, s := range shards {
+	for _, s := range m.snapshotShards() {
 		if err := s.det.TakeRefitError(); err != nil {
 			s.recordErr(err)
 		}
@@ -395,9 +489,10 @@ func (m *Monitor) Views() []string {
 	return out
 }
 
-// Detector returns a view's underlying online detector (for inspecting
-// the active model, thresholds, processed counts).
-func (m *Monitor) Detector(view string) (*core.OnlineDetector, error) {
+// Detector returns a view's underlying streaming detector (for
+// inspecting processed counts, triggering explicit refits, or
+// type-asserting to a concrete backend for model access).
+func (m *Monitor) Detector(view string) (core.ViewDetector, error) {
 	s, err := m.lookup(view)
 	if err != nil {
 		return nil, err
@@ -405,9 +500,23 @@ func (m *Monitor) Detector(view string) (*core.OnlineDetector, error) {
 	return s.det, nil
 }
 
-// Close drains the queue, stops the workers, and waits for in-flight
-// background refits. After Close, Ingest and ProcessBatch fail. Close
-// must not be called concurrently with Ingest: quiesce producers first
+// ViewStats reports a view's backend kind, processed-bin count, model
+// rank and completed refits.
+func (m *Monitor) ViewStats(view string) (core.ViewStats, error) {
+	s, err := m.lookup(view)
+	if err != nil {
+		return core.ViewStats{}, err
+	}
+	return s.det.Stats(), nil
+}
+
+// Close drains the queue, stops the workers, and waits out every
+// in-flight background refit — including one triggered by the final
+// batch — so no refit goroutine outlives Close. A refit that fails
+// while Close drains keeps its error parked in the detector; call Errs
+// after Close to harvest it (Close cannot deliver it to anyone). After
+// Close, Ingest and ProcessBatch fail. Close must not be called
+// concurrently with Ingest or IngestStream: quiesce producers first
 // (the closed flag makes later Ingest calls fail cleanly, but a racing
 // one could enqueue into a closing pool).
 func (m *Monitor) Close() {
@@ -424,7 +533,5 @@ func (m *Monitor) Close() {
 	m.dispatch.Broadcast()
 	m.dispatchMu.Unlock()
 	m.workers.Wait()
-	for _, s := range m.shards {
-		s.det.WaitRefits()
-	}
+	m.drainRefits()
 }

@@ -81,12 +81,15 @@ func TestMonitorEndToEnd(t *testing.T) {
 	if len(alarms) > 20 {
 		t.Fatalf("too many false alarms: %d", len(alarms))
 	}
-	detA, err := m.Detector("backbone-a")
+	statsA, err := m.ViewStats("backbone-a")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if detA.Processed() != 288 {
-		t.Fatalf("view a processed %d bins want 288", detA.Processed())
+	if statsA.Processed != 288 {
+		t.Fatalf("view a processed %d bins want 288", statsA.Processed)
+	}
+	if statsA.Backend != "subspace" {
+		t.Fatalf("default backend = %q", statsA.Backend)
 	}
 }
 
@@ -124,12 +127,12 @@ func TestMonitorConcurrentIngest(t *testing.T) {
 		t.Fatalf("unexpected errors: %v", errs)
 	}
 	for _, v := range views {
-		det, err := m.Detector(v)
+		stats, err := m.ViewStats(v)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if det.Processed() != 240 {
-			t.Fatalf("view %s processed %d want 240", v, det.Processed())
+		if stats.Processed != 240 {
+			t.Fatalf("view %s processed %d want 240", v, stats.Processed)
 		}
 	}
 	m.Close()
@@ -185,6 +188,48 @@ func TestMonitorSynchronousProcessBatch(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("synchronous batch missed the spike; alarms: %+v", alarms)
+	}
+}
+
+func TestMonitorMixedIngestAndProcessBatch(t *testing.T) {
+	// Ingest (queued, worker-processed) racing synchronous ProcessBatch
+	// on the same view: the per-shard processing lock must keep the
+	// backend's one-caller-at-a-time contract intact. Run under -race.
+	topo, history, stream, _ := viewData(t, 87, 600, 240, -1)
+	m := NewMonitor(Config{Workers: 4, BatchSize: 16})
+	defer m.Close()
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	half := stream.Rows() / 2
+	cols := stream.Cols()
+	first := mat.NewDense(half, cols, stream.RawData()[:half*cols])
+	second := mat.NewDense(half, cols, stream.RawData()[half*cols:])
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := m.Ingest("v", first); err != nil {
+			t.Error(err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := m.ProcessBatch("v", second); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+	m.Flush()
+	if errs := m.Errs(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	stats, err := m.ViewStats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Processed != 240 {
+		t.Fatalf("processed %d want 240", stats.Processed)
 	}
 }
 

@@ -1,0 +1,250 @@
+package netmeas
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+)
+
+// DefaultMetricNames are the three per-link series of Section 7.2: byte
+// counts, active IP-flow counts, and mean packet size.
+var DefaultMetricNames = []string{"bytes", "flows", "pktsize"}
+
+// MultiMetricConfig configures NewMultiMetricDetector.
+type MultiMetricConfig struct {
+	// Metrics names the stacked measurement blocks, in column order;
+	// its length fixes how many links-wide blocks each batch must carry.
+	// Default: DefaultMetricNames (bytes, flows, pktsize).
+	Metrics []string
+	// Quorum is how many metrics must flag a bin for the detector to
+	// alarm. The default 1 alarms on any metric — the paper's point is
+	// that scans and small-flow DDoS move flow counts without moving
+	// bytes, so demanding bytes-agreement would hide exactly those.
+	// Raise it to trade single-metric sensitivity for noise robustness.
+	Quorum int
+	// Online configures each per-metric subspace detector (window,
+	// refit cadence, diagnosis options).
+	Online core.OnlineConfig
+}
+
+// MultiMetricDetector fans one subspace detector per traffic metric over
+// shared routing (Section 7.2: "the subspace method applies to any link
+// metric for which the L2 norm is meaningful") and votes their per-bin
+// verdicts into a single alarm stream. Measurement batches carry the
+// metric blocks stacked column-wise — bins x (len(Metrics)*links), the
+// layout StackMatrices and LinkMetricSet.Stacked produce.
+//
+// The winning alarm's diagnosis comes from the lowest-index metric that
+// flagged the bin, so with the conventional ordering a byte-visible
+// anomaly reports bytes while a scan that only moves flow counts
+// reports the flow-count residual (Bytes is then in that metric's
+// units). Each sub-detector inherits OnlineDetector's concurrency
+// story: lock-free detection, background refits, atomic model swaps.
+type MultiMetricDetector struct {
+	names    []string
+	linksPer int
+	quorum   int
+	dets     []*core.OnlineDetector
+	// scratch backs the per-metric block handed to each sub-detector,
+	// reused across batches (grown on demand) so the streaming hot path
+	// does not allocate a fresh bins x links matrix per metric per
+	// batch. Safe because the ViewDetector contract serializes
+	// ProcessBatch/Seed callers and each sub-detector consumes its
+	// block fully (copying what it keeps) before the next is built.
+	scratch []float64
+}
+
+var _ core.ViewDetector = (*MultiMetricDetector)(nil)
+
+// NewMultiMetricDetector seeds one subspace model per metric from the
+// stacked history (bins x len(Metrics)*links). routing (links x flows)
+// is shared by every metric's identifier.
+func NewMultiMetricDetector(history, routing *mat.Dense, cfg MultiMetricConfig) (*MultiMetricDetector, error) {
+	names := cfg.Metrics
+	if len(names) == 0 {
+		names = DefaultMetricNames
+	}
+	if cfg.Quorum <= 0 {
+		cfg.Quorum = 1
+	}
+	if cfg.Quorum > len(names) {
+		return nil, fmt.Errorf("netmeas: quorum %d exceeds %d metrics", cfg.Quorum, len(names))
+	}
+	links := routing.Rows()
+	bins, cols := history.Dims()
+	if cols != len(names)*links {
+		return nil, fmt.Errorf("netmeas: stacked history has %d columns, want %d metrics x %d links", cols, len(names), links)
+	}
+	onlineCfg := cfg.Online
+	if onlineCfg.Window <= 0 {
+		onlineCfg.Window = bins
+	}
+	d := &MultiMetricDetector{
+		names:    append([]string(nil), names...),
+		linksPer: links,
+		quorum:   cfg.Quorum,
+		dets:     make([]*core.OnlineDetector, len(names)),
+	}
+	for j := range names {
+		sub, err := core.NewOnlineDetector(d.metricBlock(history, bins, j), routing, onlineCfg)
+		if err != nil {
+			return nil, fmt.Errorf("netmeas: metric %q: %w", names[j], err)
+		}
+		d.dets[j] = sub
+	}
+	return d, nil
+}
+
+// metricBlock copies metric j's column block out of a stacked matrix
+// into the reusable scratch buffer; the returned matrix is only valid
+// until the next metricBlock call.
+func (d *MultiMetricDetector) metricBlock(y *mat.Dense, bins, j int) *mat.Dense {
+	need := bins * d.linksPer
+	if cap(d.scratch) < need {
+		d.scratch = make([]float64, need)
+	}
+	out := mat.NewDense(bins, d.linksPer, d.scratch[:need])
+	data := out.RawData()
+	raw := y.RawData()
+	stride := len(d.names) * d.linksPer
+	for b := 0; b < bins; b++ {
+		copy(data[b*d.linksPer:(b+1)*d.linksPer], raw[b*stride+j*d.linksPer:b*stride+(j+1)*d.linksPer])
+	}
+	return out
+}
+
+// Metrics returns the configured metric names in column order.
+func (d *MultiMetricDetector) Metrics() []string { return append([]string(nil), d.names...) }
+
+// MetricDetector returns metric j's underlying subspace detector.
+func (d *MultiMetricDetector) MetricDetector(j int) *core.OnlineDetector { return d.dets[j] }
+
+// ProcessBatch splits the stacked batch (bins x len(Metrics)*links) into
+// its metric blocks, runs each through its subspace detector, and emits
+// one alarm per bin that at least Quorum metrics flagged. Deferred
+// refit errors from any metric are reported alongside the detections.
+func (d *MultiMetricDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
+	bins, cols := y.Dims()
+	if cols != len(d.names)*d.linksPer {
+		return nil, fmt.Errorf("netmeas: stacked batch has %d columns, want %d metrics x %d links", cols, len(d.names), d.linksPer)
+	}
+	votes := make(map[int]int)
+	winner := make(map[int]core.Alarm)
+	var errs []error
+	for j, sub := range d.dets {
+		alarms, err := sub.ProcessBatch(d.metricBlock(y, bins, j))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("netmeas: metric %q: %w", d.names[j], err))
+		}
+		for _, a := range alarms {
+			votes[a.Seq]++
+			if _, ok := winner[a.Seq]; !ok {
+				winner[a.Seq] = a // lowest metric index wins the diagnosis
+			}
+		}
+	}
+	var out []core.Alarm
+	for seq, n := range votes {
+		if n >= d.quorum {
+			out = append(out, winner[seq])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, errors.Join(errs...)
+}
+
+// Seed re-seeds every metric's model from the stacked history block.
+func (d *MultiMetricDetector) Seed(history *mat.Dense) error {
+	bins, cols := history.Dims()
+	if cols != len(d.names)*d.linksPer {
+		return fmt.Errorf("netmeas: stacked seed has %d columns, want %d metrics x %d links", cols, len(d.names), d.linksPer)
+	}
+	var errs []error
+	for j, sub := range d.dets {
+		if err := sub.Seed(d.metricBlock(history, bins, j)); err != nil {
+			errs = append(errs, fmt.Errorf("netmeas: metric %q: %w", d.names[j], err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Refit synchronously rebuilds every metric's model from its window.
+func (d *MultiMetricDetector) Refit() error {
+	var errs []error
+	for j, sub := range d.dets {
+		if err := sub.Refit(); err != nil {
+			errs = append(errs, fmt.Errorf("netmeas: metric %q: %w", d.names[j], err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WaitRefits blocks until no metric has a model fit in flight.
+func (d *MultiMetricDetector) WaitRefits() {
+	for _, sub := range d.dets {
+		sub.WaitRefits()
+	}
+}
+
+// TakeRefitError returns and clears the deferred refit errors across
+// all metrics, if any.
+func (d *MultiMetricDetector) TakeRefitError() error {
+	var errs []error
+	for j, sub := range d.dets {
+		if err := sub.TakeRefitError(); err != nil {
+			errs = append(errs, fmt.Errorf("netmeas: metric %q: %w", d.names[j], err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats reports the detector's state. Links is the stacked width;
+// Rank and Refits are the first (conventionally bytes) metric's.
+func (d *MultiMetricDetector) Stats() core.ViewStats {
+	first := d.dets[0].Stats()
+	return core.ViewStats{
+		Backend:   "multiflow",
+		Links:     len(d.names) * d.linksPer,
+		Processed: first.Processed,
+		Rank:      first.Rank,
+		Refits:    first.Refits,
+	}
+}
+
+// StackMatrices column-stacks matrices with identical row counts into
+// one bins x (sum of columns) matrix — the layout MultiMetricDetector
+// consumes.
+func StackMatrices(ms ...*mat.Dense) (*mat.Dense, error) {
+	if len(ms) == 0 {
+		return nil, errors.New("netmeas: nothing to stack")
+	}
+	bins := ms[0].Rows()
+	total := 0
+	for _, m := range ms {
+		if m.Rows() != bins {
+			return nil, fmt.Errorf("netmeas: stacking %d-row matrix with %d-row matrix", m.Rows(), bins)
+		}
+		total += m.Cols()
+	}
+	out := mat.Zeros(bins, total)
+	data := out.RawData()
+	off := 0
+	for _, m := range ms {
+		raw := m.RawData()
+		cols := m.Cols()
+		for b := 0; b < bins; b++ {
+			copy(data[b*total+off:b*total+off+cols], raw[b*cols:(b+1)*cols])
+		}
+		off += cols
+	}
+	return out, nil
+}
+
+// Stacked returns the metric set's three series column-stacked in the
+// conventional order (bytes, flows, pktsize).
+func (s *LinkMetricSet) Stacked() (*mat.Dense, error) {
+	return StackMatrices(s.Bytes, s.FlowCounts, s.MeanPacketSize)
+}

@@ -1,0 +1,352 @@
+package wavelet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+)
+
+// StreamConfig configures NewStreamDetector.
+type StreamConfig struct {
+	// Levels is the number of wavelet scales (default 3: 2-, 4- and
+	// 8-bin features).
+	Levels int
+	// Confidence is the per-scale detection confidence (default 0.999).
+	Confidence float64
+	// Window is the number of recent bins retained for refits, rounded
+	// down to a multiple of 2^Levels; 0 uses the seed history length.
+	// Each scale k must retain at least as many coefficient rows as
+	// links, so Window must be at least links * 2^Levels.
+	Window int
+	// RefitEvery triggers a background refit after this many processed
+	// bins; 0 disables automatic refits.
+	RefitEvery int
+}
+
+// StreamDetector adapts the Section 7.3 multiscale detector to the
+// streaming ViewDetector contract: arriving bins accumulate into
+// 2^Levels-aligned blocks, each completed block is tested against one
+// fitted subspace model per wavelet scale, and alarms report the
+// original-time region that misbehaved (Seq is the region's first bin;
+// no flow identification — wavelet coefficients mix bins, so Flow is
+// always -1 and a subspace or incremental shard on the same view should
+// localize). Detection latency is therefore up to 2^Levels bins: a
+// spike is only testable once its enclosing block completes.
+//
+// Concurrency follows the other backends: the fitted per-scale models
+// sit behind an atomic pointer, refits run on a window snapshot in a
+// background goroutine, and a failed refit keeps the previous models
+// and surfaces its error on a later call.
+type StreamDetector struct {
+	levels     int
+	span       int // 1 << levels, the block size in bins
+	links      int
+	confidence float64
+
+	det atomic.Pointer[MultiscaleDetector]
+
+	mu         sync.Mutex // guards the fields below
+	window     *mat.RowRing
+	pending    []float64 // partial block, pendingN*links of span*links
+	pendingN   int
+	processed  int
+	sinceRefit int
+	refitEvery int
+	refitting  bool
+	refitDone  *sync.Cond // on mu
+	refitErr   error
+	refits     int
+	refitHook  func()
+}
+
+var _ core.ViewDetector = (*StreamDetector)(nil)
+
+// NewStreamDetector fits the per-scale models on history (bins x links)
+// and returns a streaming multiscale detector. history must supply at
+// least links * 2^Levels bins; only its largest 2^Levels-aligned suffix
+// is used.
+func NewStreamDetector(history *mat.Dense, cfg StreamConfig) (*StreamDetector, error) {
+	if cfg.Levels <= 0 {
+		cfg.Levels = 3
+	}
+	if cfg.Confidence == 0 {
+		cfg.Confidence = 0.999
+	}
+	bins, links := history.Dims()
+	span := 1 << cfg.Levels
+	window := cfg.Window
+	if window <= 0 {
+		window = bins
+	}
+	window -= window % span
+	if window < links*span {
+		return nil, fmt.Errorf("wavelet: window %d bins cannot hold %d coefficient rows per scale at %d levels", window, links, cfg.Levels)
+	}
+	s := &StreamDetector{
+		levels:     cfg.Levels,
+		span:       span,
+		links:      links,
+		confidence: cfg.Confidence,
+		window:     mat.NewRowRing(window, links),
+		pending:    make([]float64, span*links),
+		refitEvery: cfg.RefitEvery,
+	}
+	s.refitDone = sync.NewCond(&s.mu)
+	if err := s.Seed(history); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.refits = 0 // the seed fit is the baseline, not a refit
+	s.mu.Unlock()
+	return s, nil
+}
+
+// SetRefitHook installs a function that runs inside every background
+// refit goroutine before fitting begins; tests use it to hold a refit
+// open. Call before streaming starts.
+func (s *StreamDetector) SetRefitHook(h func()) { s.refitHook = h }
+
+// Seed refits the per-scale models on (the aligned suffix of) history
+// and refills the refit window, serializing with in-flight refits. The
+// processed-bin counter and any partially accumulated block carry over.
+func (s *StreamDetector) Seed(history *mat.Dense) error {
+	bins, links := history.Dims()
+	if links != s.links {
+		return fmt.Errorf("wavelet: seed history has %d links, detector expects %d", links, s.links)
+	}
+	aligned := bins - bins%s.span
+	if aligned < s.links*s.span {
+		return fmt.Errorf("wavelet: seed history %d bins cannot hold %d coefficient rows per scale at %d levels", bins, s.links, s.levels)
+	}
+	start := bins - aligned
+	fit := mat.NewDense(aligned, links, history.RawData()[start*links:])
+
+	s.mu.Lock()
+	for s.refitting {
+		s.refitDone.Wait()
+	}
+	s.refitting = true
+	s.mu.Unlock()
+
+	md, err := NewMultiscaleDetector(fit, s.levels, s.confidence)
+	if err == nil {
+		s.det.Store(md)
+	} else {
+		err = fmt.Errorf("wavelet: seed: %w", err)
+	}
+
+	s.mu.Lock()
+	s.refitting = false
+	if err == nil {
+		s.window.Reset()
+		for b := aligned - min(aligned, s.window.Cap()); b < aligned; b++ {
+			s.window.Push(fit.RowView(b))
+		}
+		s.refits++
+		// Restart the automatic-refit clock: the models were just
+		// fitted on this window, matching the other backends' Seed.
+		s.sinceRefit = 0
+	}
+	s.refitDone.Broadcast()
+	s.mu.Unlock()
+	return err
+}
+
+// ProcessBatch accumulates the rows of y (bins x links) into
+// 2^Levels-aligned blocks and scans every completed block at all fitted
+// scales. Alarms carry the first original-time bin of each anomalous
+// region as Seq (deduplicated across scales, keeping the strongest
+// exceedance); Flow is always -1. The per-block scan runs outside the
+// detector lock — like the other backends, detection never blocks a
+// concurrent Stats, Refit or WaitRefits.
+func (s *StreamDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
+	bins, cols := y.Dims()
+	if cols != s.links {
+		return nil, fmt.Errorf("wavelet: batch has %d links, detector expects %d", cols, s.links)
+	}
+	det := s.det.Load()
+
+	// Fold rows into the pending block under the lock, copying each
+	// completed block out with its start sequence; the expensive
+	// wavelet scan happens after release.
+	type block struct {
+		start int
+		rows  *mat.Dense
+	}
+	s.mu.Lock()
+	err := s.refitErr
+	s.refitErr = nil
+	base := s.processed
+	var blocks []block
+	for b := 0; b < bins; b++ {
+		copy(s.pending[s.pendingN*s.links:(s.pendingN+1)*s.links], y.RowView(b))
+		s.pendingN++
+		if s.pendingN < s.span {
+			continue
+		}
+		s.pendingN = 0
+		rows := mat.Zeros(s.span, s.links)
+		copy(rows.RawData(), s.pending)
+		blocks = append(blocks, block{start: base + b + 1 - s.span, rows: rows})
+	}
+	s.processed += bins
+	s.mu.Unlock()
+
+	var alarms []core.Alarm
+	var clean []*mat.Dense
+	for _, blk := range blocks {
+		dets, derr := det.Detect(blk.rows)
+		if derr != nil {
+			// A block sized to span is always transformable; keep the
+			// error visible rather than dropping it.
+			if err == nil {
+				err = derr
+			}
+			continue
+		}
+		if len(dets) == 0 {
+			// Clean blocks feed the refit window; anomalous blocks are
+			// withheld so they cannot inflate the next model's residual
+			// variance (block-level analog of the subspace backend's
+			// window exclusion).
+			clean = append(clean, blk.rows)
+			continue
+		}
+		// One alarm per region start, strongest exceedance wins.
+		best := make(map[int]core.Alarm, len(dets))
+		for _, d := range dets {
+			seq := blk.start + d.BinStart
+			a := core.Alarm{Seq: seq, Diagnosis: core.Diagnosis{
+				Bin:       seq,
+				SPE:       d.SPE,
+				Threshold: d.Threshold,
+				Flow:      -1,
+			}}
+			if prev, ok := best[seq]; !ok || a.SPE/a.Threshold > prev.SPE/prev.Threshold {
+				best[seq] = a
+			}
+		}
+		for _, a := range best {
+			alarms = append(alarms, a)
+		}
+	}
+	sort.Slice(alarms, func(i, j int) bool { return alarms[i].Seq < alarms[j].Seq })
+
+	s.mu.Lock()
+	for _, rows := range clean {
+		raw := rows.RawData()
+		for r := 0; r < s.span; r++ {
+			s.window.Push(raw[r*s.links : (r+1)*s.links])
+		}
+	}
+	var snapshot *mat.Dense
+	if s.refitEvery > 0 {
+		// Accumulate every bin, but only launch at a block boundary so
+		// a refit always follows fresh window rows.
+		s.sinceRefit += bins
+		if s.sinceRefit >= s.refitEvery && len(blocks) > 0 && !s.refitting {
+			s.sinceRefit = 0
+			s.refitting = true
+			snapshot = s.window.Matrix()
+		}
+	}
+	s.mu.Unlock()
+
+	if snapshot != nil {
+		s.spawnRefit(snapshot)
+	}
+	return alarms, err
+}
+
+func (s *StreamDetector) spawnRefit(w *mat.Dense) {
+	go func() {
+		if h := s.refitHook; h != nil {
+			h()
+		}
+		md, err := NewMultiscaleDetector(w, s.levels, s.confidence)
+		if err == nil {
+			s.det.Store(md)
+		}
+		s.mu.Lock()
+		s.refitting = false
+		if err != nil {
+			s.refitErr = fmt.Errorf("wavelet: refit: %w", err)
+		} else {
+			s.refits++
+		}
+		s.refitDone.Broadcast()
+		s.mu.Unlock()
+	}()
+}
+
+// Refit synchronously refits the per-scale models on the current window
+// contents, serializing with background refits without blocking
+// concurrent detection. A failed fit leaves the previous models in
+// force.
+func (s *StreamDetector) Refit() error {
+	s.mu.Lock()
+	for s.refitting {
+		s.refitDone.Wait()
+	}
+	s.refitting = true
+	w := s.window.Matrix()
+	s.mu.Unlock()
+
+	var md *MultiscaleDetector
+	var err error
+	if w == nil {
+		err = fmt.Errorf("wavelet: refit window empty")
+	} else if md, err = NewMultiscaleDetector(w, s.levels, s.confidence); err != nil {
+		err = fmt.Errorf("wavelet: refit: %w", err)
+	} else {
+		s.det.Store(md)
+	}
+
+	s.mu.Lock()
+	s.refitting = false
+	if err == nil {
+		s.refits++
+	}
+	s.refitDone.Broadcast()
+	s.mu.Unlock()
+	return err
+}
+
+// WaitRefits blocks until no model fit is in flight.
+func (s *StreamDetector) WaitRefits() {
+	s.mu.Lock()
+	for s.refitting {
+		s.refitDone.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// TakeRefitError returns and clears the deferred error from the last
+// failed background refit, if any.
+func (s *StreamDetector) TakeRefitError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.refitErr
+	s.refitErr = nil
+	return err
+}
+
+// Stats reports the detector's current state. Rank is 0: each scale
+// keeps its own normal subspace, so no single rank is meaningful.
+func (s *StreamDetector) Stats() core.ViewStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.ViewStats{
+		Backend:   "multiscale",
+		Links:     s.links,
+		Processed: s.processed,
+		Refits:    s.refits,
+	}
+}
+
+// Levels returns the number of fitted wavelet scales.
+func (s *StreamDetector) Levels() int { return s.levels }

@@ -1,13 +1,17 @@
 package netanomaly
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"netanomaly/internal/core"
 	"netanomaly/internal/engine"
 	"netanomaly/internal/mat"
+	"netanomaly/internal/netmeas"
 	"netanomaly/internal/topology"
 	"netanomaly/internal/traffic"
+	"netanomaly/internal/wavelet"
 )
 
 // Topology is a PoP-level network with routing. Build one with
@@ -141,16 +145,196 @@ type MonitorAlarm = engine.Alarm
 // routing matrix) and feed them with Monitor.Ingest.
 func NewMonitor(cfg MonitorConfig) *Monitor { return engine.NewMonitor(cfg) }
 
-// AddTopologyView registers a detector shard on the monitor for a
-// topology's measurement stream: history (bins x links) seeds the model
-// and sliding window, and the topology's routing matrix drives
-// identification.
+// AddTopologyView registers a subspace detector shard on the monitor
+// for a topology's measurement stream: history (bins x links) seeds the
+// model and sliding window, and the topology's routing matrix drives
+// identification. For other backends, use AddView with options.
 func AddTopologyView(m *Monitor, name string, history *Matrix, topo *Topology) error {
-	_, links := history.Dims()
-	if links != topo.NumLinks() {
-		return fmt.Errorf("netanomaly: history has %d links, topology has %d", links, topo.NumLinks())
+	return AddView(m, name, history, topo)
+}
+
+// ViewDetector is the streaming contract every detector backend
+// presents to a Monitor shard; see the Detector* kinds for the shipped
+// implementations.
+type ViewDetector = core.ViewDetector
+
+// ViewStats is a snapshot of a shard's detector state, retrieved with
+// Monitor.ViewStats.
+type ViewStats = core.ViewStats
+
+// DetectorKind selects the streaming backend AddView builds for a view.
+type DetectorKind string
+
+const (
+	// DetectorSubspace is the windowed subspace method (the default):
+	// sliding-window model, full SVD refits, per-bin flow
+	// identification.
+	DetectorSubspace DetectorKind = "subspace"
+	// DetectorIncremental maintains the model from a running
+	// mean/covariance with forgetting factor lambda: no window
+	// snapshots, refits solve only the m x m eigenproblem, and the
+	// drift gate skips rebuilds when the subspace has not moved.
+	DetectorIncremental DetectorKind = "incremental"
+	// DetectorMultiscale applies one subspace model per wavelet scale
+	// (Section 7.3), catching sustained anomalies single-bin detectors
+	// miss; alarms report time regions without flow identification.
+	DetectorMultiscale DetectorKind = "multiscale"
+	// DetectorMultiFlow fans one subspace model per traffic metric
+	// (bytes / flow counts / packet size, Section 7.2) over shared
+	// routing and votes, catching scans that move flow counts without
+	// moving bytes. History and batches carry the metric blocks
+	// column-stacked (see StackMatrices and DeriveLinkMetrics).
+	DetectorMultiFlow DetectorKind = "multiflow"
+)
+
+type viewConfig struct {
+	kind     DetectorKind
+	lambda   float64
+	driftTol float64
+	levels   int
+	quorum   int
+	metrics  []string
+}
+
+// ViewOption customizes the backend AddView builds.
+type ViewOption func(*viewConfig)
+
+// WithDetector selects the backend kind (default DetectorSubspace).
+func WithDetector(kind DetectorKind) ViewOption {
+	return func(vc *viewConfig) { vc.kind = kind }
+}
+
+// WithLambda sets the incremental backend's forgetting factor in
+// (0, 1]; 1 weights all history equally, 0.999 forgets with roughly a
+// one-week time constant at ten-minute bins.
+func WithLambda(lambda float64) ViewOption {
+	return func(vc *viewConfig) { vc.lambda = lambda }
+}
+
+// WithDriftTolerance sets the incremental backend's rebuild gate: an
+// automatic refit only swaps the model in when the residual projector
+// has moved at least tol in Frobenius norm.
+func WithDriftTolerance(tol float64) ViewOption {
+	return func(vc *viewConfig) { vc.driftTol = tol }
+}
+
+// WithLevels sets the multiscale backend's wavelet depth (default 3:
+// 2-, 4- and 8-bin features).
+func WithLevels(levels int) ViewOption {
+	return func(vc *viewConfig) { vc.levels = levels }
+}
+
+// WithQuorum sets how many metrics must flag a bin before the
+// multi-flow backend alarms (default 1: any metric).
+func WithQuorum(q int) ViewOption {
+	return func(vc *viewConfig) { vc.quorum = q }
+}
+
+// WithMetrics names the multi-flow backend's stacked metric blocks in
+// column order (default bytes, flows, pktsize).
+func WithMetrics(names ...string) ViewOption {
+	return func(vc *viewConfig) { vc.metrics = names }
+}
+
+// AddView registers a detector shard on the monitor for a topology's
+// measurement stream, with the backend selected by options. history
+// seeds the model: bins x links for the subspace, incremental and
+// multiscale kinds, bins x (metrics x links) column-stacked for
+// multiflow. The monitor's Window, RefitEvery and Options configure
+// every kind uniformly.
+func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...ViewOption) error {
+	vc := viewConfig{kind: DetectorSubspace, lambda: 1, levels: 3, quorum: 1}
+	for _, o := range opts {
+		o(&vc)
 	}
-	return m.AddView(name, history, topo.RoutingMatrix())
+	cfg := m.Config()
+	links := topo.NumLinks()
+	routing := topo.RoutingMatrix()
+	bins, cols := history.Dims()
+	window := cfg.Window
+	if window <= 0 {
+		window = bins
+	}
+	wantCols := links
+	if vc.kind == DetectorMultiFlow {
+		if len(vc.metrics) == 0 {
+			vc.metrics = netmeas.DefaultMetricNames
+		}
+		wantCols = len(vc.metrics) * links
+	}
+	if cols != wantCols {
+		return fmt.Errorf("netanomaly: view %q: history has %d columns, %s backend on %d links wants %d", name, cols, vc.kind, links, wantCols)
+	}
+
+	var det ViewDetector
+	var err error
+	switch vc.kind {
+	case DetectorSubspace:
+		return m.AddView(name, history, routing)
+	case DetectorIncremental:
+		det, err = core.NewIncrementalDetector(history, routing, core.IncrementalConfig{
+			Lambda:     vc.lambda,
+			RefitEvery: cfg.RefitEvery,
+			DriftTol:   vc.driftTol,
+			Options:    cfg.Options,
+		})
+	case DetectorMultiscale:
+		det, err = wavelet.NewStreamDetector(history, wavelet.StreamConfig{
+			Levels:     vc.levels,
+			Confidence: cfg.Options.Confidence,
+			Window:     window,
+			RefitEvery: cfg.RefitEvery,
+		})
+	case DetectorMultiFlow:
+		det, err = netmeas.NewMultiMetricDetector(history, routing, netmeas.MultiMetricConfig{
+			Metrics: vc.metrics,
+			Quorum:  vc.quorum,
+			Online: core.OnlineConfig{
+				Window:     window,
+				RefitEvery: cfg.RefitEvery,
+				Options:    cfg.Options,
+			},
+		})
+	default:
+		return fmt.Errorf("netanomaly: view %q: unknown detector kind %q", name, vc.kind)
+	}
+	if err != nil {
+		return fmt.Errorf("netanomaly: view %q: %w", name, err)
+	}
+	return m.AddDetectorView(name, det)
+}
+
+// LinkMeasurement is one bin of link loads delivered by a streaming
+// collector; Monitor.IngestStream consumes channels of them.
+type LinkMeasurement = netmeas.LinkMeasurement
+
+// StreamMatrix replays the rows of a measurement matrix on a channel,
+// one bin per interval (immediately when interval is zero), closing it
+// after the last bin or when ctx is cancelled — the simulated SNMP
+// poll feed of Section 7.1. Feed it to Monitor.IngestStream to drive a
+// shard end-to-end from a live source.
+func StreamMatrix(ctx context.Context, y *Matrix, interval time.Duration) <-chan LinkMeasurement {
+	return netmeas.Stream(ctx, y, interval)
+}
+
+// LinkMetricSet holds the per-link metric series of Section 7.2
+// (bytes, IP-flow counts, mean packet size) for one traffic matrix.
+type LinkMetricSet = netmeas.LinkMetricSet
+
+// LinkMetricConfig parameterizes DeriveLinkMetrics.
+type LinkMetricConfig = netmeas.MetricConfig
+
+// DeriveLinkMetrics synthesizes the alternative per-link metric series
+// from OD traffic; LinkMetricSet.Stacked lays them out as the
+// multi-flow backend's stacked history.
+func DeriveLinkMetrics(topo *Topology, od *Matrix, cfg LinkMetricConfig) (*LinkMetricSet, error) {
+	return netmeas.LinkMetrics(topo, od, cfg)
+}
+
+// StackMatrices column-stacks equal-row matrices — the layout the
+// multi-flow backend consumes for history and measurement batches.
+func StackMatrices(ms ...*Matrix) (*Matrix, error) {
+	return netmeas.StackMatrices(ms...)
 }
 
 // MultiFlowCandidates builds the candidate sets for multi-flow anomaly

@@ -2,6 +2,7 @@ package netanomaly_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"path/filepath"
 	"strings"
@@ -172,6 +173,94 @@ func TestCSVFileRoundTrip(t *testing.T) {
 	}
 	if _, _, err := netanomaly.LoadMatrixCSV(filepath.Join(dir, "missing.csv")); err == nil {
 		t.Fatal("missing file must error")
+	}
+}
+
+// TestAddViewBackendsViaPublicAPI exercises the backend-selecting
+// AddView options and channel-driven ingestion end to end through the
+// public surface: one monitor, four shards (one per detector kind),
+// one of them fed from a StreamMatrix channel.
+func TestAddViewBackendsViaPublicAPI(t *testing.T) {
+	topo := netanomaly.Abilene()
+	cfg := netanomaly.DefaultTrafficConfig(11)
+	cfg.Bins = 1024 + 128 // dyadic seed so the multiscale backend fits
+	od, err := netanomaly.GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := topo.FlowID(4, 9)
+	netanomaly.InjectAnomalies(od, []netanomaly.Anomaly{{Flow: flow, Bin: 1024 + 60, Delta: 9e7}})
+	links := netanomaly.LinkLoads(topo, od)
+	m := links.Cols()
+	history := netanomaly.NewMatrix(1024, m, links.RawData()[:1024*m])
+	stream := netanomaly.NewMatrix(128, m, links.RawData()[1024*m:])
+
+	ms, err := netanomaly.DeriveLinkMetrics(topo, od, netanomaly.LinkMetricConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacked, err := netanomaly.StackMatrices(ms.Bytes, ms.FlowCounts, ms.MeanPacketSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stackedHistory := netanomaly.NewMatrix(1024, 3*m, stacked.RawData()[:1024*3*m])
+	stackedStream := netanomaly.NewMatrix(128, 3*m, stacked.RawData()[1024*3*m:])
+
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{Workers: 4, BatchSize: 32})
+	defer mon.Close()
+	for name, opts := range map[string][]netanomaly.ViewOption{
+		"subspace":    nil,
+		"incremental": {netanomaly.WithDetector(netanomaly.DetectorIncremental), netanomaly.WithLambda(0.999)},
+		"multiscale":  {netanomaly.WithDetector(netanomaly.DetectorMultiscale), netanomaly.WithLevels(2)},
+	} {
+		if err := netanomaly.AddView(mon, name, history, topo, opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := netanomaly.AddView(mon, "multiflow", stackedHistory, topo,
+		netanomaly.WithDetector(netanomaly.DetectorMultiFlow), netanomaly.WithQuorum(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Stacked history on a single-metric backend must be rejected.
+	if err := netanomaly.AddView(mon, "bad", stackedHistory, topo); err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("stacked history accepted by subspace backend: %v", err)
+	}
+
+	if err := mon.IngestStream("subspace", netanomaly.StreamMatrix(context.Background(), stream, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"incremental", "multiscale"} {
+		if err := mon.Ingest(v, stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mon.Ingest("multiflow", stackedStream); err != nil {
+		t.Fatal(err)
+	}
+	mon.Flush()
+	if errs := mon.Errs(); len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	hits := make(map[string]bool)
+	for _, a := range mon.TakeAlarms() {
+		if a.Seq >= 56 && a.Seq <= 60 { // multiscale reports the region start
+			hits[a.View] = true
+		}
+	}
+	for _, v := range []string{"subspace", "incremental", "multiscale", "multiflow"} {
+		if !hits[v] {
+			t.Fatalf("view %q missed the injected spike", v)
+		}
+		stats, err := mon.ViewStats(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Backend != v {
+			t.Fatalf("view %q reports backend %q", v, stats.Backend)
+		}
+		if stats.Processed != 128 {
+			t.Fatalf("view %q processed %d bins", v, stats.Processed)
+		}
 	}
 }
 
