@@ -16,6 +16,7 @@ import (
 	"netanomaly/internal/engine"
 	"netanomaly/internal/eval"
 	"netanomaly/internal/experiments"
+	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/tomo"
 	"netanomaly/internal/wavelet"
@@ -555,6 +556,48 @@ func BenchmarkMonitorThroughput(b *testing.B) {
 		b.StopTimer()
 		mon.Close()
 	})
+}
+
+// BenchmarkForecastProcessBatch times the forecast backends' streaming
+// hot path — per-link prediction, residual scoring against adaptive
+// thresholds, and state update — in 64-bin batches over the Abilene
+// trace, reporting bins/sec per kind. The forecast model is the
+// cheapest in the backend family (no matrix pass at all for the
+// smoothing kinds), which is what makes per-bin refit experiments
+// affordable; a regression here erases that advantage.
+func BenchmarkForecastProcessBatch(b *testing.B) {
+	d := experiments.AbileneSim()
+	links := d.Links
+	bins, m := links.Dims()
+	const batch = 64
+	for _, kind := range []forecast.Kind{forecast.EWMA, forecast.HoltWinters, forecast.Fourier} {
+		b.Run(string(kind), func(b *testing.B) {
+			det, err := forecast.NewDetector(links, forecast.Config{Kind: kind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := links.RawData()
+			b.ResetTimer()
+			fed := 0
+			for turn := 0; fed < b.N; turn++ {
+				n := batch
+				if b.N-fed < n {
+					n = b.N - fed
+				}
+				r0 := (turn * batch) % (bins - batch)
+				chunk := mat.NewDense(n, m, data[r0*m:(r0+n)*m])
+				if _, err := det.ProcessBatch(chunk); err != nil {
+					b.Fatal(err)
+				}
+				fed += n
+			}
+			b.StopTimer()
+			elapsed := b.Elapsed().Seconds()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed, "bins/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkMultiFlowIdentification times the Theta-matrix identification

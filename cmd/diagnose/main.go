@@ -19,9 +19,17 @@
 //	multiflow    one model per metric with voting (-metrics names the
 //	             CSV's stacked column blocks, -quorum the vote); write
 //	             such a CSV with trafficgen -metrics
+//	ewma         per-link EWMA forecasting baseline (-alpha gain, 0 =
+//	             grid search at seed; -k threshold multiplier); alarms
+//	             report the worst link's residual, not an OD flow
+//	holtwinters  per-link level+trend forecasting baseline (-alpha,
+//	             -beta, -k)
+//	fourier      per-link sinusoid-basis fit, background refits (-k)
 //
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -refit 288 -detector incremental -lambda 0.999
+//	diagnose -topology abilene -links links.csv -stream -history 1008 \
+//	    -detector ewma -k 6
 package main
 
 import (
@@ -45,12 +53,15 @@ func main() {
 	historyBins := flag.Int("history", 1008, "streaming: bins that seed the model (the paper's week is 1008)")
 	batchSize := flag.Int("batch", 64, "streaming: bins per dispatched batch")
 	refitEvery := flag.Int("refit", 0, "streaming: background-refit interval in bins (0 = never)")
-	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, or multiflow")
+	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, multiflow, ewma, holtwinters, or fourier")
 	lambda := flag.Float64("lambda", 1, "incremental: covariance forgetting factor in (0,1]")
 	driftTol := flag.Float64("drift-tol", 0, "incremental: min residual-projector drift before a rebuild swaps in (0 = always)")
 	levels := flag.Int("levels", 3, "multiscale: wavelet depth")
 	metrics := flag.String("metrics", "bytes,flows,pktsize", "multiflow: names of the CSV's stacked metric blocks")
 	quorum := flag.Int("quorum", 1, "multiflow: how many metrics must flag a bin")
+	alpha := flag.Float64("alpha", 0, "ewma/holtwinters: level smoothing gain (0 = ewma grid search at seed, holtwinters 0.3)")
+	beta := flag.Float64("beta", 0, "holtwinters: trend smoothing gain (0 = 0.1)")
+	thresholdK := flag.Float64("k", 0, "forecast backends: alarm at mean + k*sigma of tracked residuals (0 = 6)")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
@@ -73,6 +84,9 @@ func main() {
 			levels:     *levels,
 			metrics:    strings.Split(*metrics, ","),
 			quorum:     *quorum,
+			alpha:      *alpha,
+			beta:       *beta,
+			thresholdK: *thresholdK,
 		}
 		runStream(topo, links, sc, opts)
 		return
@@ -109,6 +123,9 @@ type streamConfig struct {
 	levels     int
 	metrics    []string
 	quorum     int
+	alpha      float64
+	beta       float64
+	thresholdK float64
 }
 
 // runStream seeds a Monitor shard on the first history rows and replays
@@ -133,6 +150,8 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		viewOpts = append(viewOpts, netanomaly.WithLevels(sc.levels))
 	case netanomaly.DetectorMultiFlow:
 		viewOpts = append(viewOpts, netanomaly.WithMetrics(sc.metrics...), netanomaly.WithQuorum(sc.quorum))
+	case netanomaly.DetectorEWMA, netanomaly.DetectorHoltWinters, netanomaly.DetectorFourier:
+		viewOpts = append(viewOpts, netanomaly.WithAlpha(sc.alpha), netanomaly.WithBeta(sc.beta), netanomaly.WithThresholdK(sc.thresholdK))
 	}
 	// The detectors copy seed rows into their own state, so the history
 	// view can alias the loaded matrix.
@@ -163,7 +182,10 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	}
 	rankNote := fmt.Sprintf("rank %d", stats.Rank)
 	if stats.Rank == 0 {
-		rankNote = "per-scale models"
+		// The multiscale backend keeps one model per wavelet scale, the
+		// forecast backends one forecaster per link; neither has a single
+		// subspace rank to report.
+		rankNote = "per-scale/per-link models"
 	}
 	fmt.Printf("streaming: %s model seeded on %d bins (%d measurement columns, %s), %d bins to go in batches of %d\n",
 		stats.Backend, sc.history, stats.Links, rankNote, bins-sc.history, sc.batch)

@@ -35,8 +35,12 @@ func WriteMatrixCSV(w io.Writer, m *Matrix, header []string) error {
 	return cw.Error()
 }
 
-// ReadMatrixCSV parses a matrix written by WriteMatrixCSV. When the first
-// record fails to parse as numbers it is treated as a header and skipped.
+// ReadMatrixCSV parses a matrix written by WriteMatrixCSV. The first
+// record is treated as a header and skipped when any of its cells fails
+// to parse as a number — not just the first cell, so a header of numeric
+// link IDs followed by names ("0","linkA",...) is still recognized. A
+// header whose every cell is numeric is indistinguishable from data and
+// is read as the first row.
 func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 	cr := csv.NewReader(r)
 	recs, err := cr.ReadAll()
@@ -47,7 +51,7 @@ func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 		return nil, nil, fmt.Errorf("netanomaly: empty CSV")
 	}
 	var header []string
-	if _, err := strconv.ParseFloat(recs[0][0], 64); err != nil {
+	if !allNumeric(recs[0]) {
 		header = recs[0]
 		recs = recs[1:]
 	}
@@ -69,6 +73,17 @@ func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 		}
 	}
 	return m, header, nil
+}
+
+// allNumeric reports whether every cell of the record parses as a
+// float64.
+func allNumeric(rec []string) bool {
+	for _, s := range rec {
+		if _, err := strconv.ParseFloat(s, 64); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // SaveMatrixCSV writes the matrix to a file.

@@ -101,6 +101,24 @@
 //     catches port scans and small-flow DDoS that move flow counts
 //     without moving bytes; raise the quorum to demand agreement and
 //     suppress single-metric noise.
+//   - DetectorEWMA / DetectorHoltWinters / DetectorFourier (WithAlpha,
+//     WithBeta, WithThresholdK): the paper's temporal forecasting
+//     baselines (Sections 6.2, 7.3), streaming. Each link is forecast
+//     independently — incremental EWMA (alpha grid-searched at seed
+//     when unset) or level+trend smoothing, or a sinusoid-basis fit
+//     refit in the background on a window snapshot — and a link alarms
+//     when its residual exceeds an adaptive threshold: mean + k*sigma
+//     of its exponentially tracked residuals, re-estimated from the
+//     retained window on every refit, so thresholds follow the traffic
+//     level. Alarmed bins are withheld from forecaster state, which
+//     suppresses the footnote-4 spike echo online. These are the
+//     cheapest backends (no matrix pass for the smoothing kinds —
+//     see BenchmarkForecastProcessBatch) and good per-link change
+//     detectors, but they cannot identify the OD flow behind an alarm
+//     (Diagnosis.Flow is -1) and their detection degrades as per-link
+//     variability grows relative to anomaly size — the regime where
+//     the subspace method's cross-link correlation wins (Section 7.3;
+//     run examples/compare for the head-to-head on one scenario).
 //
 // Everything is deterministic in the provided seeds and uses only the
 // standard library. The subpackages under internal/ implement the
@@ -108,7 +126,8 @@
 // goroutine-parallel multiply kernels), network topology and routing
 // (internal/topology), the traffic model (internal/traffic), the
 // simulated measurement plane and the multi-metric backend
-// (internal/netmeas), temporal baselines (internal/timeseries), the
+// (internal/netmeas), offline temporal baselines (internal/timeseries)
+// and their streaming detector forms (internal/forecast), the
 // subspace method, the ViewDetector contract and the incremental
 // backend (internal/core), the wavelet transform and the multiscale
 // backend (internal/wavelet), the concurrent streaming engine

@@ -1,10 +1,23 @@
 // Compare contrasts spatial against temporal anomaly detection on the
-// same link data (Section 7.3 / Figure 10): the subspace method exploits
-// correlation across links, while Fourier filtering and EWMA smoothing
-// exploit correlation across time within each link. On traffic with rich
-// periodic structure, the temporal residuals stay noisy and periodic —
-// no threshold separates anomalies from normal traffic — while the
-// subspace residual isolates them sharply.
+// same streamed link data — the paper's Section 7.3 comparison, run
+// online. The subspace method exploits correlation across links; the
+// forecasting baselines (EWMA, Holt-Winters, Fourier basis fitting)
+// exploit correlation across time within each link, with adaptive
+// per-link k-sigma residual thresholds. All four backends stream the
+// identical bins through the core.ViewDetector contract and are scored
+// on the identical labels, so the detection and false-alarm rates are
+// directly comparable.
+//
+// The mixed anomaly sizes spread the backends apart. The smoothing
+// forecasters (EWMA, Holt-Winters) are sharp per-link change detectors
+// on this clean synthetic traffic and catch even the small spikes; the
+// Fourier fit only models the periodic structure, so residual noise
+// drowns moderate anomalies; the subspace method misses the smallest
+// spike (it lands in a large flow whose variance the normal subspace
+// absorbs — Section 5.4) but is the only method that identifies the
+// responsible OD flow, and its advantage grows as per-link variability
+// rises relative to anomaly size, which is the regime the paper's real
+// backbone traces live in (Figure 10).
 package main
 
 import (
@@ -13,88 +26,61 @@ import (
 
 	"netanomaly"
 	"netanomaly/internal/core"
-	"netanomaly/internal/timeseries"
+	"netanomaly/internal/eval"
+	"netanomaly/internal/forecast"
 )
 
 func main() {
 	topo := netanomaly.SprintEurope()
 	cfg := netanomaly.DefaultTrafficConfig(1101)
 	cfg.TotalMeanRate = 7.2e8
+	cfg.Bins = 1008 + 432 // one seeding week + three streamed days
 	od, err := netanomaly.GenerateTraffic(topo, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Anomalies spanning ~8e6 to 6.5e7 bytes in the streamed portion.
 	anomalies := []netanomaly.Anomaly{
-		{Flow: topo.FlowID(0, 7), Bin: 260, Delta: 2.6e7},
-		{Flow: topo.FlowID(9, 3), Bin: 640, Delta: 3.2e7},
-		{Flow: topo.FlowID(5, 12), Bin: 930, Delta: 2.4e7},
+		{Flow: topo.FlowID(0, 7), Bin: 1008 + 60, Delta: 8e6},
+		{Flow: topo.FlowID(9, 3), Bin: 1008 + 170, Delta: 1.2e7},
+		{Flow: topo.FlowID(5, 12), Bin: 1008 + 290, Delta: 2.4e7},
+		{Flow: topo.FlowID(3, 1), Bin: 1008 + 390, Delta: 6.5e7},
 	}
 	netanomaly.InjectAnomalies(od, anomalies)
 	links := netanomaly.LinkLoads(topo, od)
-	bins, nLinks := links.Dims()
+	_, m := links.Dims()
+	history := netanomaly.NewMatrix(1008, m, links.RawData()[:1008*m])
+	stream := netanomaly.NewMatrix(432, m, links.RawData()[1008*m:])
+	truth := make([]int, len(anomalies))
+	for i, a := range anomalies {
+		truth[i] = a.Bin - 1008
+	}
 
-	// Subspace residual: ||C~ y||^2 per bin.
-	p, err := core.Fit(links)
+	subspace, err := core.NewOnlineDetector(history, topo.RoutingMatrix(), core.OnlineConfig{Window: 1008})
 	if err != nil {
 		log.Fatal(err)
 	}
-	model, err := core.Build(p, core.SeparateAxes(p, core.DefaultSigma))
-	if err != nil {
-		log.Fatal(err)
-	}
-	subspace := make([]float64, bins)
-	for b := 0; b < bins; b++ {
-		subspace[b] = model.SPE(links.Row(b))
-	}
-
-	// Temporal residuals: filter each link's timeseries independently and
-	// take the squared norm of the per-bin residual vector.
-	fourier := make([]float64, bins)
-	ewma := make([]float64, bins)
-	fm := timeseries.NewFourierModel(1.0 / 6.0)
-	for l := 0; l < nLinks; l++ {
-		col := links.Col(l)
-		fit, err := fm.Fit(col)
+	backends := []core.ViewDetector{subspace}
+	for _, kind := range []forecast.Kind{forecast.EWMA, forecast.HoltWinters, forecast.Fourier} {
+		det, err := forecast.NewDetector(history, forecast.Config{Kind: kind})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pred := (timeseries.EWMA{Alpha: 0.25}).Forecast(col)
-		for b := 0; b < bins; b++ {
-			df := col[b] - fit[b]
-			fourier[b] += df * df
-			de := col[b] - pred[b]
-			ewma[b] += de * de
-		}
+		backends = append(backends, det)
 	}
 
-	trueBins := map[int]bool{}
-	for _, a := range anomalies {
-		trueBins[a.Bin] = true
-	}
-	report := func(name string, resid []float64) {
-		minAnom, maxNorm := -1.0, 0.0
-		for b, v := range resid {
-			if trueBins[b] {
-				if minAnom < 0 || v < minAnom {
-					minAnom = v
-				}
-			} else if v > maxNorm {
-				maxNorm = v
-			}
+	fmt.Printf("%d injected anomalies (8e6..6.5e7 bytes) in %d streamed bins of %d-link data\n\n",
+		len(anomalies), stream.Rows(), m)
+	for _, det := range backends {
+		r, err := eval.EvaluateStreaming(det, stream, 64, truth)
+		if err != nil {
+			log.Fatal(err)
 		}
-		sep := minAnom / maxNorm
-		verdict := "anomalies NOT separable from normal traffic"
-		if sep > 1 {
-			verdict = fmt.Sprintf("clean threshold exists (margin %.1fx)", sep)
-		}
-		fmt.Printf("%-8s residual: min@anomaly %.3g, max@normal %.3g -> %s\n",
-			name, minAnom, maxNorm, verdict)
+		fmt.Println(r)
 	}
-	fmt.Printf("three injected anomalies on %d bins of %d-link data\n\n", bins, nLinks)
-	report("subspace", subspace)
-	report("fourier", fourier)
-	report("ewma", ewma)
 
-	fmt.Println("\nconclusion: spatial correlation across links separates what")
-	fmt.Println("temporal filtering of individual links cannot (Figure 10).")
+	fmt.Println("\nconclusion: on clean synthetic traffic the smoothing forecasters")
+	fmt.Println("detect competitively, but only the subspace method identifies the")
+	fmt.Println("OD flow behind each alarm, and its edge grows with per-link noise")
+	fmt.Println("(the paper's real-trace regime, Section 7.3 / Figure 10).")
 }

@@ -2,14 +2,17 @@ package engine
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"netanomaly/internal/core"
+	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
+	"netanomaly/internal/timeseries"
 	"netanomaly/internal/topology"
 	"netanomaly/internal/traffic"
 	"netanomaly/internal/wavelet"
@@ -35,8 +38,9 @@ const (
 	confSpikeBin    = 60
 )
 
-// conformanceFixtures builds all four backends over one synthetic
-// Abilene trace (shared OD matrix, shared routing).
+// conformanceFixtures builds all seven backends over one synthetic
+// Abilene trace (shared OD matrix, shared routing): the four subspace
+// family members plus the three forecast baselines.
 func conformanceFixtures(t *testing.T, seed int64) []backendFixture {
 	t.Helper()
 	topo := topology.Abilene()
@@ -83,12 +87,20 @@ func conformanceFixtures(t *testing.T, seed int64) []backendFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []backendFixture{
+	fixtures := []backendFixture{
 		{"subspace", subspace, history, stream, confSpikeBin, confSpikeBin},
 		{"incremental", incremental, history, stream, confSpikeBin, confSpikeBin},
 		{"multiscale", multiscale, history, stream, confSpikeBin - 3, confSpikeBin},
 		{"multiflow", multiflow, stackedHistory, stackedStream, confSpikeBin, confSpikeBin},
 	}
+	for _, kind := range []forecast.Kind{forecast.EWMA, forecast.HoltWinters, forecast.Fourier} {
+		det, err := forecast.NewDetector(history, forecast.Config{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, backendFixture{string(kind), det, history, stream, confSpikeBin, confSpikeBin})
+	}
+	return fixtures
 }
 
 // TestViewDetectorConformance runs every backend through the shared
@@ -171,9 +183,10 @@ func TestViewDetectorConformance(t *testing.T) {
 	}
 }
 
-// TestMonitorMixedBackends runs all four backend kinds as shards of one
-// Monitor over the shared pool, each receiving its own copy of the
-// spiked trace, and checks every shard localizes the anomaly.
+// TestMonitorMixedBackends runs every backend kind — subspace family
+// and forecast baselines alike — as shards of one Monitor over the
+// shared pool, each receiving its own copy of the spiked trace, and
+// checks every shard localizes the anomaly.
 func TestMonitorMixedBackends(t *testing.T) {
 	fixtures := conformanceFixtures(t, 121)
 	m := NewMonitor(Config{Workers: 4, BatchSize: 32})
@@ -263,6 +276,141 @@ func TestMonitorIngestStream(t *testing.T) {
 	close(bad)
 	if err := m.IngestStream("live", bad); err == nil || !strings.Contains(err.Error(), "links") {
 		t.Fatalf("mis-sized stream measurement not rejected: %v", err)
+	}
+}
+
+// TestStreamingEWMAAgreesWithBidirectionalResiduals pins the forecast
+// backend's echo suppression to the paper's footnote-4 semantics: on a
+// replayed trace with a large spike, the streaming EWMA detector (which
+// withholds alarmed bins from its forecaster state) must flag exactly
+// the bins whose offline bidirectional residual exceeds the same
+// per-link thresholds — the spike itself, and in particular NOT the
+// bin after it, which a plain forward EWMA would mark as a second
+// spike.
+func TestStreamingEWMAAgreesWithBidirectionalResiduals(t *testing.T) {
+	const historyBins, streamBins, links = 1008, 192, 5
+	const alpha = 0.3
+	total := historyBins + streamBins
+	full := mat.Zeros(total, links)
+	for b := 0; b < total; b++ {
+		hours := float64(b) / 6.0
+		for l := 0; l < links; l++ {
+			base := 4e7 * float64(l+1)
+			diurnal := 1 + 0.35*math.Sin(2*math.Pi*hours/24+float64(l))
+			noise := 1 + 0.01*math.Sin(float64(b*(l+3)))*math.Cos(float64(b*7+l))
+			full.Set(b, l, base*diurnal*noise)
+		}
+	}
+	// One large spike mid-stream on two links.
+	spikeBin := historyBins + 90
+	full.Set(spikeBin, 1, full.At(spikeBin, 1)+3e7)
+	full.Set(spikeBin, 3, full.At(spikeBin, 3)+3e7)
+
+	history := mat.NewDense(historyBins, links, full.RawData()[:historyBins*links])
+	stream := mat.NewDense(streamBins, links, full.RawData()[historyBins*links:])
+	// Adapt is tiny so the thresholds stay at their seed values and the
+	// offline comparison below uses exactly the same numbers.
+	det, err := forecast.NewDetector(history, forecast.Config{Kind: forecast.EWMA, Alpha: alpha, Adapt: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thresholds := det.Thresholds()
+	alarms, err := det.ProcessBatch(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(map[int]bool)
+	for _, a := range alarms {
+		streamed[a.Seq] = true
+	}
+
+	// Offline: footnote-4 bidirectional residuals over the full trace,
+	// against the very thresholds the streaming detector used.
+	offline := make(map[int]bool)
+	for l := 0; l < links; l++ {
+		resid := timeseries.BidirectionalResiduals(full.Col(l), alpha)
+		for b := historyBins; b < total; b++ {
+			if resid[b] > thresholds[l] {
+				offline[b-historyBins] = true
+			}
+		}
+	}
+	if !streamed[90] || !offline[90] {
+		t.Fatalf("spike not flagged by both: streaming %v offline %v", streamed, offline)
+	}
+	if streamed[91] {
+		t.Fatal("streaming EWMA flagged the echo bin a bidirectional pass suppresses")
+	}
+	for b := range streamed {
+		if !offline[b] {
+			t.Fatalf("streaming flagged bin %d that offline bidirectional residuals do not", b)
+		}
+	}
+	for b := range offline {
+		if !streamed[b] {
+			t.Fatalf("offline bidirectional residuals flag bin %d that streaming missed", b)
+		}
+	}
+}
+
+// TestMonitorCloseDuringForecastRefit pins Close against an in-flight
+// forecast-backend refit: Close must wait the background threshold
+// re-estimation out, and no goroutine may outlive it. Run under -race
+// in CI.
+func TestMonitorCloseDuringForecastRefit(t *testing.T) {
+	const bins, links = 64, 4
+	history := mat.Zeros(bins, links)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < links; j++ {
+			history.Set(i, j, 1e6*(1+0.3*math.Sin(float64(i)/9+float64(j))))
+		}
+	}
+	det, err := forecast.NewDetector(history, forecast.Config{Kind: forecast.EWMA, Alpha: 0.3, RefitEvery: bins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	det.SetRefitHook(func() {
+		close(started)
+		<-release
+	})
+
+	goroutinesBefore := runtime.NumGoroutine()
+	m := NewMonitor(Config{Workers: 1, BatchSize: bins})
+	if err := m.AddDetectorView("v", det); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("v", history); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the background refit is in flight and held open
+
+	closed := make(chan struct{})
+	go func() {
+		m.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a forecast refit was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the forecast refit completed")
+	}
+	if errs := m.Errs(); len(errs) != 0 {
+		t.Fatalf("clean forecast refit left errors: %v", errs)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across Close: %d before, %d after", goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -365,7 +366,10 @@ func (m *Monitor) IngestStream(view string, ch <-chan netmeas.LinkMeasurement) e
 		if len(meas.Loads) != s.links {
 			err := fmt.Errorf("engine: view %q: stream measurement has %d links, want %d", view, len(meas.Loads), s.links)
 			if ferr := flush(); ferr != nil {
-				return ferr
+				// Both failures matter: the mis-sized measurement is the
+				// root cause the caller must fix, the flush failure says
+				// the buffered bins before it were lost too.
+				return errors.Join(err, ferr)
 			}
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"netanomaly/internal/mat"
+	"netanomaly/internal/netmeas"
 	"netanomaly/internal/topology"
 	"netanomaly/internal/traffic"
 )
@@ -265,6 +266,39 @@ func TestMonitorFinalBatchRefitFailureReachesErrs(t *testing.T) {
 		t.Fatalf("harvested error not retained exactly once: %v", errs)
 	}
 	m.Close()
+}
+
+func TestIngestStreamJoinsFlushAndMeasurementErrors(t *testing.T) {
+	// A mis-sized measurement arriving after buffered bins whose flush
+	// also fails must surface BOTH errors: the old code returned only the
+	// flush error, hiding the root cause (the bad measurement).
+	topo, history, stream, _ := viewData(t, 87, 300, 12, -1)
+	m := NewMonitor(Config{Workers: 1, BatchSize: 8})
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan netmeas.LinkMeasurement) // unbuffered: sends rendezvous with IngestStream
+	errc := make(chan error, 1)
+	go func() { errc <- m.IngestStream("v", ch) }()
+	// Three valid bins buffer below BatchSize, so no flush happens yet.
+	for b := 0; b < 3; b++ {
+		ch <- netmeas.LinkMeasurement{Bin: b, Loads: stream.Row(b)}
+	}
+	// Close the monitor so the flush forced by the bad measurement fails.
+	m.Close()
+	ch <- netmeas.LinkMeasurement{Bin: 3, Loads: []float64{1, 2, 3}}
+	close(ch)
+	err := <-errc
+	if err == nil {
+		t.Fatal("IngestStream returned nil after a mis-sized measurement and a failed flush")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "links") {
+		t.Fatalf("root-cause measurement error dropped: %v", err)
+	}
+	if !strings.Contains(msg, "closed") {
+		t.Fatalf("flush failure dropped: %v", err)
+	}
 }
 
 func TestMonitorErrors(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"netanomaly/internal/core"
+	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/topology"
 	"netanomaly/internal/traffic"
@@ -335,5 +336,80 @@ func TestMeanFlowRates(t *testing.T) {
 	got := MeanFlowRates(x)
 	if got[0] != 15 || got[1] != 2 {
 		t.Fatalf("MeanFlowRates = %v", got)
+	}
+}
+
+func TestScoreAlarmBins(t *testing.T) {
+	r := ScoreAlarmBins("ewma", map[int]bool{10: true, 20: true, 30: true}, []int{10, 40}, 100)
+	if r.Detected != 1 || r.TrueAnomalies != 2 {
+		t.Fatalf("detection %d/%d want 1/2", r.Detected, r.TrueAnomalies)
+	}
+	if r.FalseAlarms != 2 || r.NormalBins != 98 {
+		t.Fatalf("false alarms %d/%d want 2/98", r.FalseAlarms, r.NormalBins)
+	}
+	if got := r.DetectionRate(); got != 0.5 {
+		t.Fatalf("detection rate %v", got)
+	}
+	if got := r.FalseAlarmRate(); math.Abs(got-2.0/98) > 1e-12 {
+		t.Fatalf("false alarm rate %v", got)
+	}
+	if zero := (StreamResult{}); zero.DetectionRate() != 0 || zero.FalseAlarmRate() != 0 {
+		t.Fatal("zero-denominator rates must be 0")
+	}
+}
+
+// TestEvaluateStreamingBackends runs the online Section 7.3 comparison
+// end to end: subspace and forecast backends stream the same spiked
+// trace and the helper scores both against the same labels.
+func TestEvaluateStreamingBackends(t *testing.T) {
+	topo := topology.Abilene()
+	cfg := traffic.DefaultConfig(9)
+	cfg.Bins = 1008 + 288
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := gen.Generate()
+	truth := []int{60, 170}
+	for _, b := range truth {
+		traffic.Inject(x, []traffic.Anomaly{{Flow: topo.FlowID(2, 8), Bin: 1008 + b, Delta: 9e7}})
+	}
+	y := traffic.LinkLoads(topo, x)
+	links := topo.NumLinks()
+	history := mat.NewDense(1008, links, y.RawData()[:1008*links])
+	stream := mat.NewDense(288, links, y.RawData()[1008*links:])
+
+	subspace, err := core.NewOnlineDetector(history, topo.RoutingMatrix(), core.OnlineConfig{Window: 1008})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ewma, err := forecast.NewDetector(history, forecast.Config{Kind: forecast.EWMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, det := range []core.ViewDetector{subspace, ewma} {
+		r, err := EvaluateStreaming(det, stream, 64, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TrueAnomalies != 2 || r.NormalBins != 286 {
+			t.Fatalf("%s: denominators %d/%d wrong", r.Backend, r.TrueAnomalies, r.NormalBins)
+		}
+		if r.Detected != 2 {
+			t.Fatalf("%s detected %d/2 9e7-byte spikes: %+v", r.Backend, r.Detected, r)
+		}
+		if r.FalseAlarms > 10 {
+			t.Fatalf("%s false alarms %d too high", r.Backend, r.FalseAlarms)
+		}
+	}
+	// Alarm seqs must have been rebased: a second evaluation on a
+	// detector that already processed 288 bins still scores stream-local
+	// labels.
+	r, err := EvaluateStreaming(ewma, stream, 64, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 2 {
+		t.Fatalf("rebased evaluation detected %d/2: %+v", r.Detected, r)
 	}
 }

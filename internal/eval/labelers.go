@@ -78,7 +78,10 @@ func (l EWMALabeler) Residuals(x *mat.Dense, binHours float64) (*mat.Dense, erro
 		col := x.Col(f)
 		alpha := l.Alpha
 		if alpha == 0 {
-			alpha = timeseries.SelectAlpha(col, timeseries.DefaultAlphaGrid)
+			var err error
+			if alpha, err = timeseries.SelectAlpha(col, timeseries.DefaultAlphaGrid); err != nil {
+				return nil, fmt.Errorf("eval: ewma labeler flow %d: %w", f, err)
+			}
 		}
 		out.SetCol(f, timeseries.BidirectionalResiduals(col, alpha))
 	}

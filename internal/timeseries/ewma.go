@@ -72,13 +72,20 @@ func BidirectionalResiduals(z []float64, alpha float64) []float64 {
 
 // SelectAlpha picks the alpha from grid minimizing the sum of squared
 // one-step forecast errors on train, mirroring the paper's multi-grid
-// parameter search. It panics on an empty grid.
-func SelectAlpha(train []float64, grid []float64) float64 {
+// parameter search. It panics on an empty grid. Candidates whose SSE is
+// not finite (a train series containing NaN or Inf, or one that
+// overflows) are skipped; when every candidate's SSE is non-finite an
+// error is returned, since no comparison is meaningful. Exact SSE ties
+// — constant series tie every alpha — are broken toward the paper's
+// 0.2–0.3 working range rather than whatever happens to come first in
+// the grid.
+func SelectAlpha(train []float64, grid []float64) (float64, error) {
 	if len(grid) == 0 {
 		panic("timeseries: SelectAlpha needs a non-empty grid")
 	}
-	best := grid[0]
+	best := math.NaN()
 	bestErr := math.Inf(1)
+	found := false
 	for _, a := range grid {
 		pred := EWMA{Alpha: a}.Forecast(train)
 		var sse float64
@@ -86,13 +93,26 @@ func SelectAlpha(train []float64, grid []float64) float64 {
 			d := train[t] - pred[t]
 			sse += d * d
 		}
-		if sse < bestErr {
+		if !isFinite(sse) {
+			continue
+		}
+		if !found || sse < bestErr || (sse == bestErr && alphaInWorkingRange(a) && !alphaInWorkingRange(best)) {
 			bestErr = sse
 			best = a
+			found = true
 		}
 	}
-	return best
+	if !found {
+		return 0, fmt.Errorf("timeseries: SelectAlpha: no grid alpha has a finite SSE on the training series")
+	}
+	return best, nil
 }
+
+// alphaInWorkingRange reports whether alpha falls in the paper's
+// empirically chosen 0.2 <= alpha <= 0.3 band (Section 6.2).
+func alphaInWorkingRange(a float64) bool { return a >= 0.2 && a <= 0.3 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // DefaultAlphaGrid spans the paper's working range with its neighbourhood.
 var DefaultAlphaGrid = []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5}

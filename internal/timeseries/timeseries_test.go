@@ -107,7 +107,10 @@ func TestSelectAlphaPrefersBetterFit(t *testing.T) {
 		z[i] = z[i-1] + rng.NormFloat64()
 	}
 	grid := []float64{0.05, 0.3, 0.9}
-	got := SelectAlpha(z, grid)
+	got, err := SelectAlpha(z, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
 	best, bestErr := 0.0, math.Inf(1)
 	for _, a := range grid {
 		pred := EWMA{Alpha: a}.Forecast(z)
@@ -132,6 +135,44 @@ func TestSelectAlphaEmptyGridPanics(t *testing.T) {
 		}
 	}()
 	SelectAlpha([]float64{1, 2}, nil)
+}
+
+func TestSelectAlphaConstantSeriesTiesTowardWorkingRange(t *testing.T) {
+	// Every alpha forecasts a constant series perfectly (SSE 0 across the
+	// grid); the tie must break into the paper's 0.2-0.3 band rather than
+	// returning whichever grid entry comes first.
+	z := []float64{7, 7, 7, 7, 7, 7}
+	got, err := SelectAlpha(z, DefaultAlphaGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.2 || got > 0.3 {
+		t.Fatalf("constant-series tie picked alpha %v outside the paper's 0.2-0.3 range", got)
+	}
+}
+
+func TestSelectAlphaSkipsNaNSSE(t *testing.T) {
+	// A NaN in the training series poisons every candidate's SSE; NaN
+	// never compares less-than, so the old code silently returned grid[0].
+	// Now the non-finite candidates are skipped and, with none left, the
+	// failure is explicit.
+	z := []float64{1, 2, math.NaN(), 4, 5}
+	if _, err := SelectAlpha(z, DefaultAlphaGrid); err == nil {
+		t.Fatal("all-NaN SSEs must return an error, not grid[0]")
+	}
+}
+
+func TestSelectAlphaTieWithoutWorkingRangeCandidate(t *testing.T) {
+	// When no candidate falls in the working range, ties still resolve to
+	// a finite grid member.
+	z := []float64{3, 3, 3}
+	got, err := SelectAlpha(z, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 && got != 0.9 {
+		t.Fatalf("SelectAlpha = %v not from grid", got)
+	}
 }
 
 func TestHoltWintersTracksLinearTrend(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 
 	"netanomaly/internal/core"
 	"netanomaly/internal/engine"
+	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
 	"netanomaly/internal/topology"
@@ -185,6 +186,20 @@ const (
 	// moving bytes. History and batches carry the metric blocks
 	// column-stacked (see StackMatrices and DeriveLinkMetrics).
 	DetectorMultiFlow DetectorKind = "multiflow"
+	// DetectorEWMA forecasts each link independently with exponential
+	// smoothing and alarms on k-sigma residual exceedance against
+	// adaptive per-link thresholds — the paper's Section 7.3 temporal
+	// baseline, streaming. Alarms localize in time and link, not OD
+	// flow (Diagnosis.Flow is -1).
+	DetectorEWMA DetectorKind = "ewma"
+	// DetectorHoltWinters is the level+trend double-exponential
+	// forecasting baseline with the same adaptive residual thresholds.
+	DetectorHoltWinters DetectorKind = "holtwinters"
+	// DetectorFourier fits the paper's eight-period sinusoid basis on a
+	// sliding window (refit in the background) and alarms on residuals
+	// against adaptive per-link thresholds (Section 6.2's temporal
+	// model, streaming).
+	DetectorFourier DetectorKind = "fourier"
 )
 
 type viewConfig struct {
@@ -194,6 +209,9 @@ type viewConfig struct {
 	levels   int
 	quorum   int
 	metrics  []string
+	alpha    float64
+	beta     float64
+	k        float64
 }
 
 // ViewOption customizes the backend AddView builds.
@@ -202,6 +220,35 @@ type ViewOption func(*viewConfig)
 // WithDetector selects the backend kind (default DetectorSubspace).
 func WithDetector(kind DetectorKind) ViewOption {
 	return func(vc *viewConfig) { vc.kind = kind }
+}
+
+// WithDetectorKind selects the backend kind by its string name
+// ("subspace", "incremental", "multiscale", "multiflow", "ewma",
+// "holtwinters", "fourier") — a convenience for callers plumbing the
+// kind from flags or config files; unknown names fail in AddView.
+func WithDetectorKind(kind string) ViewOption {
+	return WithDetector(DetectorKind(kind))
+}
+
+// WithAlpha sets the forecast backends' level smoothing gain in (0, 1].
+// For DetectorEWMA, 0 (the default) selects alpha per link by grid
+// search on the seed history, mirroring the paper's multi-grid
+// parameter search; DetectorHoltWinters defaults to 0.3.
+func WithAlpha(alpha float64) ViewOption {
+	return func(vc *viewConfig) { vc.alpha = alpha }
+}
+
+// WithBeta sets the Holt-Winters trend smoothing gain in (0, 1]
+// (default 0.1).
+func WithBeta(beta float64) ViewOption {
+	return func(vc *viewConfig) { vc.beta = beta }
+}
+
+// WithThresholdK sets the forecast backends' threshold multiplier: a
+// link alarms when its forecast residual exceeds mean + k*sigma of its
+// adaptively tracked residuals (default 6).
+func WithThresholdK(k float64) ViewOption {
+	return func(vc *viewConfig) { vc.k = k }
 }
 
 // WithLambda sets the incremental backend's forgetting factor in
@@ -238,10 +285,12 @@ func WithMetrics(names ...string) ViewOption {
 
 // AddView registers a detector shard on the monitor for a topology's
 // measurement stream, with the backend selected by options. history
-// seeds the model: bins x links for the subspace, incremental and
-// multiscale kinds, bins x (metrics x links) column-stacked for
-// multiflow. The monitor's Window, RefitEvery and Options configure
-// every kind uniformly.
+// seeds the model: bins x links for the subspace, incremental,
+// multiscale and forecast (ewma / holtwinters / fourier) kinds,
+// bins x (metrics x links) column-stacked for multiflow. The monitor's
+// Window, RefitEvery and Options configure every kind uniformly (the
+// forecast kinds take their thresholds from WithThresholdK rather than
+// Options.Confidence).
 func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...ViewOption) error {
 	vc := viewConfig{kind: DetectorSubspace, lambda: 1, levels: 3, quorum: 1}
 	for _, o := range opts {
@@ -294,6 +343,15 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 				RefitEvery: cfg.RefitEvery,
 				Options:    cfg.Options,
 			},
+		})
+	case DetectorEWMA, DetectorHoltWinters, DetectorFourier:
+		det, err = forecast.NewDetector(history, forecast.Config{
+			Kind:       forecast.Kind(vc.kind),
+			Alpha:      vc.alpha,
+			Beta:       vc.beta,
+			K:          vc.k,
+			Window:     window,
+			RefitEvery: cfg.RefitEvery,
 		})
 	default:
 		return fmt.Errorf("netanomaly: view %q: unknown detector kind %q", name, vc.kind)

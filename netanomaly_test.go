@@ -140,6 +140,59 @@ func TestCSVNoHeader(t *testing.T) {
 	}
 }
 
+func TestCSVHeaderWithNumericFirstColumn(t *testing.T) {
+	// A header whose first cell parses as a number ("0","linkA") used to
+	// be consumed as a data row — the first cell was the only one
+	// inspected — failing with a confusing row-0 parse error. Any
+	// non-numeric cell anywhere in the first record now marks it as a
+	// header.
+	in := "0,linkA\n1.5,2.5\n3.5,4.5\n"
+	got, header, err := netanomaly.ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 2 || header[0] != "0" || header[1] != "linkA" {
+		t.Fatalf("header = %v, want [0 linkA]", header)
+	}
+	r, c := got.Dims()
+	if r != 2 || c != 2 || got.At(0, 0) != 1.5 || got.At(1, 1) != 4.5 {
+		t.Fatalf("data = %dx%d %v", r, c, got)
+	}
+}
+
+func TestCSVMixedHeaderLastCellNumeric(t *testing.T) {
+	// The non-numeric cell can be anywhere, including not-first.
+	in := "linkA,1\n1,2\n"
+	got, header, err := netanomaly.ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header) != 2 || header[0] != "linkA" {
+		t.Fatalf("header = %v", header)
+	}
+	if got.Rows() != 1 || got.At(0, 1) != 2 {
+		t.Fatalf("data wrong: %v", got)
+	}
+}
+
+func TestCSVAllNumericHeaderReadAsData(t *testing.T) {
+	// An all-numeric header is indistinguishable from data and is
+	// documented to be read as the first row — the caller must omit such
+	// headers (WriteMatrixCSV with nil header) or include a non-numeric
+	// name.
+	in := "0,1\n2,3\n"
+	got, header, err := netanomaly.ReadMatrixCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header != nil {
+		t.Fatalf("all-numeric first record misread as header %v", header)
+	}
+	if got.Rows() != 2 || got.At(0, 1) != 1 {
+		t.Fatalf("data wrong: %v", got)
+	}
+}
+
 func TestCSVErrors(t *testing.T) {
 	if _, _, err := netanomaly.ReadMatrixCSV(strings.NewReader("")); err == nil {
 		t.Fatal("empty CSV must error")
@@ -178,7 +231,7 @@ func TestCSVFileRoundTrip(t *testing.T) {
 
 // TestAddViewBackendsViaPublicAPI exercises the backend-selecting
 // AddView options and channel-driven ingestion end to end through the
-// public surface: one monitor, four shards (one per detector kind),
+// public surface: one monitor, seven shards (one per detector kind),
 // one of them fed from a StreamMatrix channel.
 func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 	topo := netanomaly.Abilene()
@@ -212,6 +265,9 @@ func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 		"subspace":    nil,
 		"incremental": {netanomaly.WithDetector(netanomaly.DetectorIncremental), netanomaly.WithLambda(0.999)},
 		"multiscale":  {netanomaly.WithDetector(netanomaly.DetectorMultiscale), netanomaly.WithLevels(2)},
+		"ewma":        {netanomaly.WithDetectorKind("ewma"), netanomaly.WithThresholdK(6)},
+		"holtwinters": {netanomaly.WithDetector(netanomaly.DetectorHoltWinters), netanomaly.WithAlpha(0.3), netanomaly.WithBeta(0.1)},
+		"fourier":     {netanomaly.WithDetector(netanomaly.DetectorFourier)},
 	} {
 		if err := netanomaly.AddView(mon, name, history, topo, opts...); err != nil {
 			t.Fatal(err)
@@ -229,7 +285,7 @@ func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 	if err := mon.IngestStream("subspace", netanomaly.StreamMatrix(context.Background(), stream, 0)); err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []string{"incremental", "multiscale"} {
+	for _, v := range []string{"incremental", "multiscale", "ewma", "holtwinters", "fourier"} {
 		if err := mon.Ingest(v, stream); err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +303,7 @@ func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 			hits[a.View] = true
 		}
 	}
-	for _, v := range []string{"subspace", "incremental", "multiscale", "multiflow"} {
+	for _, v := range []string{"subspace", "incremental", "multiscale", "multiflow", "ewma", "holtwinters", "fourier"} {
 		if !hits[v] {
 			t.Fatalf("view %q missed the injected spike", v)
 		}
