@@ -25,11 +25,18 @@
 //	holtwinters  per-link level+trend forecasting baseline (-alpha,
 //	             -beta, -k)
 //	fourier      per-link sinusoid-basis fit, background refits (-k)
+//	hybrid       cheap forecast triage (-triage names the kind, default
+//	             ewma) escalating alarmed bins to a subspace stage for
+//	             OD-flow identification (-escalation immediate,
+//	             confirm:<n>, or always); steady-state cost is the
+//	             forecast recursion, alarms carry flows
 //
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -refit 288 -detector incremental -lambda 0.999
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -detector ewma -k 6
+//	diagnose -topology abilene -links links.csv -stream -history 1008 \
+//	    -detector hybrid -triage ewma -escalation immediate
 package main
 
 import (
@@ -53,7 +60,7 @@ func main() {
 	historyBins := flag.Int("history", 1008, "streaming: bins that seed the model (the paper's week is 1008)")
 	batchSize := flag.Int("batch", 64, "streaming: bins per dispatched batch")
 	refitEvery := flag.Int("refit", 0, "streaming: background-refit interval in bins (0 = never)")
-	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, multiflow, ewma, holtwinters, or fourier")
+	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, multiflow, ewma, holtwinters, fourier, or hybrid")
 	lambda := flag.Float64("lambda", 1, "incremental: covariance forgetting factor in (0,1]")
 	driftTol := flag.Float64("drift-tol", 0, "incremental: min residual-projector drift before a rebuild swaps in (0 = always)")
 	levels := flag.Int("levels", 3, "multiscale: wavelet depth")
@@ -62,6 +69,8 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "ewma/holtwinters: level smoothing gain (0 = ewma grid search at seed, holtwinters 0.3)")
 	beta := flag.Float64("beta", 0, "holtwinters: trend smoothing gain (0 = 0.1)")
 	thresholdK := flag.Float64("k", 0, "forecast backends: alarm at mean + k*sigma of tracked residuals (0 = 6)")
+	triage := flag.String("triage", "ewma", "hybrid: triage stage kind (ewma, holtwinters, fourier)")
+	escalation := flag.String("escalation", "immediate", "hybrid: escalation policy (immediate, confirm:<n>, always)")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
@@ -87,6 +96,8 @@ func main() {
 			alpha:      *alpha,
 			beta:       *beta,
 			thresholdK: *thresholdK,
+			triage:     netanomaly.DetectorKind(*triage),
+			escalation: *escalation,
 		}
 		runStream(topo, links, sc, opts)
 		return
@@ -126,6 +137,8 @@ type streamConfig struct {
 	alpha      float64
 	beta       float64
 	thresholdK float64
+	triage     netanomaly.DetectorKind
+	escalation string
 }
 
 // runStream seeds a Monitor shard on the first history rows and replays
@@ -152,6 +165,10 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		viewOpts = append(viewOpts, netanomaly.WithMetrics(sc.metrics...), netanomaly.WithQuorum(sc.quorum))
 	case netanomaly.DetectorEWMA, netanomaly.DetectorHoltWinters, netanomaly.DetectorFourier:
 		viewOpts = append(viewOpts, netanomaly.WithAlpha(sc.alpha), netanomaly.WithBeta(sc.beta), netanomaly.WithThresholdK(sc.thresholdK))
+	case netanomaly.DetectorHybrid:
+		viewOpts = append(viewOpts,
+			netanomaly.WithTriageKind(sc.triage), netanomaly.WithEscalation(sc.escalation),
+			netanomaly.WithAlpha(sc.alpha), netanomaly.WithBeta(sc.beta), netanomaly.WithThresholdK(sc.thresholdK))
 	}
 	// The detectors copy seed rows into their own state, so the history
 	// view can alias the loaded matrix.
@@ -174,6 +191,12 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	})
 	const view = "stream"
 	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
+		fatal(err)
+	}
+	// Grab the detector handle before Close (lookups fail afterwards);
+	// the hybrid kind prints its two-stage breakdown at the end.
+	det, err := mon.Detector(view)
+	if err != nil {
 		fatal(err)
 	}
 	stats, err := mon.ViewStats(view)
@@ -204,6 +227,11 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		failed = true
 	}
 	fmt.Printf("%d alarms over %d streamed bins\n", alarms, bins-sc.history)
+	if hd, ok := det.(*netanomaly.HybridDetector); ok {
+		hs := hd.HybridStats()
+		fmt.Printf("hybrid: %s triage flagged %d bins, %d escalated to subspace, %d identified, %d suppressed\n",
+			hs.Triage.Backend, hs.TriageAlarms, hs.Escalated, hs.Identified, hs.Suppressed)
+	}
 	if failed {
 		// Scripted callers check the exit code; an aborted or
 		// error-laden run must not look like a clean, anomaly-free pass.

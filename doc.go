@@ -68,7 +68,9 @@
 // The paper's method is a family, not one detector, and every member
 // streams behind the same ViewDetector interface (Seed / ProcessBatch /
 // Refit / Stats), so one Monitor can mix backends freely. AddView
-// selects the implementation per view:
+// selects the implementation per view; docs/BACKENDS.md is the full
+// selection guide (cost models, what each kind localizes, seed
+// requirements, tuning knobs):
 //
 //   - DetectorSubspace (default): the windowed subspace method above.
 //     Pick it when you want the paper's exact semantics, per-bin flow
@@ -119,6 +121,19 @@
 //     variability grows relative to anomaly size — the regime where
 //     the subspace method's cross-link correlation wins (Section 7.3;
 //     run examples/compare for the head-to-head on one scenario).
+//   - DetectorHybrid (WithTriageKind, WithEscalation): the
+//     triage→identification composition. A forecast stage sees every
+//     bin at recursion cost and escalates alarmed bins to a windowed
+//     subspace stage that attributes the responsible OD flow, so
+//     steady-state cost is forecast-level (within ~1.1x on clean
+//     streams, BenchmarkHybridThroughput) while alarms carry Flow and
+//     Bytes. Escalation is immediate, confirm-after-n, or always
+//     (subspace-grade detection, for measuring triage misses); the
+//     subspace stage stays fresh via background re-seeds from the
+//     hybrid's window of recent clean bins. This is the operating
+//     point the paper's Section 6.2/7.3 trade points at: temporal
+//     methods localize in time+link cheaply, the subspace method
+//     identifies the flow — the hybrid does both.
 //
 // Everything is deterministic in the provided seeds and uses only the
 // standard library. The subpackages under internal/ implement the

@@ -1,0 +1,484 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"netanomaly/internal/mat"
+)
+
+// Escalation selects which bins a HybridDetector's identification stage
+// sees. The triage stage sees every bin regardless.
+type Escalation int
+
+const (
+	// EscalateImmediate escalates every triage-alarmed bin as it
+	// happens (the default): single-bin spikes get flow identification
+	// at the cost of one subspace pass per triage alarm.
+	EscalateImmediate Escalation = iota
+	// EscalateConfirm escalates a triage-alarmed bin only once the run
+	// of consecutive alarmed bins reaches HybridConfig.Confirm: brief
+	// triage blips never pay the identification cost (their alarms
+	// still fire, without flow attribution). Keep Confirm below the
+	// triage stage's ReabsorbAfter horizon, or a persistent anomaly
+	// stops alarming before it ever confirms.
+	EscalateConfirm
+	// EscalateAlways escalates every bin, alarmed or not — the
+	// identification stage runs at full subspace cost and can flag
+	// anomalies the triage stage misses. Use it to measure the triage
+	// stage's miss rate against subspace-grade detection.
+	EscalateAlways
+)
+
+// String names the policy as ParseEscalation accepts it.
+func (e Escalation) String() string {
+	switch e {
+	case EscalateImmediate:
+		return "immediate"
+	case EscalateConfirm:
+		return "confirm"
+	case EscalateAlways:
+		return "always"
+	}
+	return fmt.Sprintf("escalation(%d)", int(e))
+}
+
+// ParseEscalation parses a policy name — "immediate", "always",
+// "confirm", or "confirm:<n>" — into the policy and its confirmation
+// count (0 means HybridConfig's default). An empty string is
+// "immediate".
+func ParseEscalation(s string) (Escalation, int, error) {
+	switch {
+	case s == "" || s == "immediate":
+		return EscalateImmediate, 0, nil
+	case s == "always":
+		return EscalateAlways, 0, nil
+	case s == "confirm":
+		return EscalateConfirm, 0, nil
+	case strings.HasPrefix(s, "confirm:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "confirm:"))
+		if err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("core: escalation %q: confirmation count must be a positive integer", s)
+		}
+		return EscalateConfirm, n, nil
+	}
+	return 0, 0, fmt.Errorf("core: unknown escalation policy %q (want immediate, confirm[:n], or always)", s)
+}
+
+// HybridConfig configures NewHybridDetector.
+type HybridConfig struct {
+	// Escalation selects which bins reach the identification stage;
+	// default EscalateImmediate.
+	Escalation Escalation
+	// Confirm is the consecutive-alarm count EscalateConfirm requires
+	// before escalating; 0 uses 2. Ignored by the other policies.
+	Confirm int
+	// Window is the capacity of the hybrid's clean-bin window, which
+	// feeds the identification stage's background re-seeds; 0 uses the
+	// seed history length.
+	Window int
+	// RefitEvery re-seeds the identification stage from the clean-bin
+	// window in the background after this many processed bins; 0
+	// disables the re-seed (the triage stage's own refit cadence is
+	// configured on the triage detector itself).
+	RefitEvery int
+}
+
+// HybridStats is a HybridDetector's two-stage breakdown: the per-stage
+// detector snapshots plus the escalation counters that price the
+// triage→identification trade.
+type HybridStats struct {
+	// Triage and Identify are the stage detectors' own Stats.
+	Triage, Identify ViewStats
+	// TriageAlarms counts bins the triage stage flagged.
+	TriageAlarms int
+	// Escalated counts bins handed to the identification stage — the
+	// subspace work actually paid for. Under EscalateAlways this is
+	// every processed bin.
+	Escalated int
+	// Identified counts escalated bins the identification stage
+	// confirmed; their alarms carry Flow attribution.
+	Identified int
+	// Suppressed counts triage alarms never escalated (the confirm
+	// policy withholding identification from unconfirmed blips); their
+	// alarms fired with Flow = -1.
+	Suppressed int
+}
+
+// HybridDetector pairs a cheap always-on triage stage with a subspace
+// identification stage behind one ViewDetector: every bin runs through
+// the triage detector (typically a per-link forecast backend whose
+// steady-state cost is a smoothing recursion), and only escalated bins
+// reach the identification detector (typically the windowed subspace
+// backend), whose DiagnoseBatch supplies the OD-flow attribution
+// temporal methods cannot. On an anomaly-free stream the hybrid's cost
+// is the triage recursion; when the triage stage alarms, the escalated
+// bins pay one batched subspace pass and the resulting alarms carry
+// Flow and Bytes — the paper's Section 6.2/7.3 trade (temporal methods
+// localize in time+link, the subspace method identifies the flow)
+// collapsed into one operating point.
+//
+// Alarm semantics: a bin alarms when the triage stage flags it (or,
+// under EscalateAlways, when either stage does). When the
+// identification stage confirms an escalated bin, the alarm carries its
+// Diagnosis — subspace SPE, threshold, identified Flow and estimated
+// Bytes; otherwise the alarm carries the triage stage's Diagnosis
+// (worst link's residual, Flow = -1). One alarm per bin, in sequence
+// order.
+//
+// Model freshness: the identification stage never sees clean bins, so
+// its sliding window would go stale. The hybrid keeps its own window of
+// recent clean (un-alarmed) bins and re-seeds the identification stage
+// from it in the background every RefitEvery bins, under the same
+// refit-gate discipline as the other backends — detection never blocks,
+// a failed re-seed keeps the previous model and parks its error. The
+// triage stage schedules its own refits exactly as it would standalone.
+//
+// Concurrency follows the ViewDetector contract: one ProcessBatch
+// caller at a time, with Seed, Refit, WaitRefits, TakeRefitError and
+// Stats callable concurrently. The hybrid must be the stages' only
+// caller — handing either stage to another Monitor view breaks the
+// one-ProcessBatch-caller guarantee it relies on.
+type HybridDetector struct {
+	triage   ViewDetector
+	identify ViewDetector
+	policy   Escalation
+	confirm  int
+	links    int
+
+	mu         sync.Mutex // guards the fields below
+	window     *mat.RowRing
+	processed  int
+	run        int // consecutive triage-alarmed bins
+	sinceRefit int
+	refitEvery int
+	gate       *RefitGate
+	refits     int
+	// escalation counters, surfaced by HybridStats
+	triageAlarms int
+	escalated    int
+	identified   int
+	suppressed   int
+	refitHook    func()
+}
+
+var _ ViewDetector = (*HybridDetector)(nil)
+
+// NewHybridDetector composes two already-seeded stage detectors into a
+// hybrid view. history (bins x links) prefills the clean-bin window the
+// identification stage re-seeds from — normally the same history both
+// stages were seeded on. The stages must agree on the measurement
+// width, and the hybrid must become their only caller.
+func NewHybridDetector(triage, identify ViewDetector, history *mat.Dense, cfg HybridConfig) (*HybridDetector, error) {
+	tLinks, iLinks := triage.Stats().Links, identify.Stats().Links
+	if tLinks != iLinks {
+		return nil, fmt.Errorf("core: hybrid stages disagree on width: triage %d links, identify %d", tLinks, iLinks)
+	}
+	bins, cols := history.Dims()
+	if cols != tLinks {
+		return nil, fmt.Errorf("core: hybrid history has %d links, stages expect %d", cols, tLinks)
+	}
+	if bins == 0 {
+		return nil, fmt.Errorf("core: hybrid history is empty")
+	}
+	if cfg.Confirm == 0 {
+		cfg.Confirm = 2
+	}
+	if cfg.Confirm < 1 {
+		return nil, fmt.Errorf("core: hybrid confirmation count %d < 1", cfg.Confirm)
+	}
+	capacity := cfg.Window
+	if capacity <= 0 {
+		capacity = bins
+	}
+	d := &HybridDetector{
+		triage:     triage,
+		identify:   identify,
+		policy:     cfg.Escalation,
+		confirm:    cfg.Confirm,
+		links:      tLinks,
+		window:     mat.NewRowRing(capacity, tLinks),
+		refitEvery: cfg.RefitEvery,
+	}
+	d.gate = NewRefitGate(&d.mu)
+	for b := max(0, bins-capacity); b < bins; b++ {
+		d.window.Push(history.RowView(b))
+	}
+	return d, nil
+}
+
+// SetRefitHook installs a function that runs inside every background
+// re-seed goroutine before fitting begins; tests use it to hold a
+// re-seed open. Call before streaming starts.
+func (d *HybridDetector) SetRefitHook(h func()) { d.refitHook = h }
+
+// ProcessBatch runs the batch through the triage stage, escalates bins
+// per the policy, identifies them with the subspace stage, and returns
+// one alarm per alarmed bin in sequence order. Clean bins feed the
+// window the identification stage re-seeds from; a deferred failure
+// from either stage's background fit (or the hybrid's own re-seed)
+// reports alongside the batch's detections.
+func (d *HybridDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
+	bins, cols := y.Dims()
+	if cols != d.links {
+		return nil, fmt.Errorf("core: batch has %d links, detector expects %d", cols, d.links)
+	}
+
+	// Stage 1: triage, every bin. The stages keep their own sequence
+	// counts (they may have streamed before the hybrid wrapped them),
+	// so stage alarms are rebased to batch rows via the counter read
+	// just before the call — safe because the hybrid is the only
+	// ProcessBatch caller.
+	tBase := d.triage.Stats().Processed
+	tAlarms, err := d.triage.ProcessBatch(y)
+	triaged := make(map[int]Diagnosis, len(tAlarms))
+	for _, a := range tAlarms {
+		row := a.Seq - tBase
+		if row < 0 || row >= bins {
+			return nil, fmt.Errorf("core: hybrid triage alarm seq %d outside batch of %d bins at base %d", a.Seq, bins, tBase)
+		}
+		triaged[row] = a.Diagnosis
+	}
+
+	// Escalation decisions need the run counter; they and the sequence
+	// base are the only state the batch touches before identification.
+	d.mu.Lock()
+	base := d.processed
+	d.processed += bins
+	d.triageAlarms += len(tAlarms)
+	var escRows []int
+	for b := 0; b < bins; b++ {
+		_, alarmed := triaged[b]
+		if alarmed {
+			d.run++
+		} else {
+			d.run = 0
+		}
+		esc := false
+		switch d.policy {
+		case EscalateAlways:
+			esc = true
+		case EscalateImmediate:
+			esc = alarmed
+		case EscalateConfirm:
+			esc = alarmed && d.run >= d.confirm
+		}
+		if esc {
+			escRows = append(escRows, b)
+		} else if alarmed {
+			d.suppressed++
+		}
+	}
+	d.escalated += len(escRows)
+	d.mu.Unlock()
+
+	// Stage 2: identification, escalated bins only — one batched
+	// subspace pass over just those rows.
+	identified := make(map[int]Diagnosis)
+	if len(escRows) > 0 {
+		esc := mat.Zeros(len(escRows), d.links)
+		for i, b := range escRows {
+			esc.SetRow(i, y.RowView(b))
+		}
+		iBase := d.identify.Stats().Processed
+		iAlarms, ierr := d.identify.ProcessBatch(esc)
+		if ierr != nil {
+			err = errors.Join(err, ierr)
+		}
+		for _, a := range iAlarms {
+			row := a.Seq - iBase
+			if row < 0 || row >= len(escRows) {
+				return nil, fmt.Errorf("core: hybrid identify alarm seq %d outside %d escalated bins at base %d", a.Seq, len(escRows), iBase)
+			}
+			identified[escRows[row]] = a.Diagnosis
+		}
+	}
+
+	// Emit one alarm per alarmed bin; the identification stage's
+	// diagnosis wins when it confirmed the bin (it carries Flow).
+	var alarms []Alarm
+	for b := 0; b < bins; b++ {
+		diag, ok := identified[b]
+		if !ok {
+			if diag, ok = triaged[b]; !ok {
+				continue
+			}
+		}
+		diag.Bin = base + b
+		alarms = append(alarms, Alarm{Seq: base + b, Diagnosis: diag})
+	}
+
+	// Window and re-seed bookkeeping: bins neither stage flagged are
+	// clean and feed the identification stage's next model.
+	d.mu.Lock()
+	d.identified += len(identified)
+	for b := 0; b < bins; b++ {
+		if _, tOK := triaged[b]; tOK {
+			continue
+		}
+		if _, iOK := identified[b]; iOK {
+			continue
+		}
+		d.window.Push(y.RowView(b))
+	}
+	if derr := d.gate.TakeErrorLocked(); derr != nil {
+		err = errors.Join(err, derr)
+	}
+	var snap *mat.Dense
+	if d.refitEvery > 0 {
+		d.sinceRefit += bins
+		if d.sinceRefit >= d.refitEvery && d.window.Len() > 0 && d.gate.TryBeginLocked() {
+			d.sinceRefit = 0
+			snap = d.window.Matrix()
+		}
+	}
+	d.mu.Unlock()
+
+	if snap != nil {
+		d.spawnReseed(snap)
+	}
+	return alarms, err
+}
+
+// spawnReseed re-seeds the identification stage from the clean-bin
+// window snapshot in a background goroutine. The caller has already
+// claimed the gate; the goroutine releases it, parking a failure as the
+// deferred error (the previous model stays in force — Seed commits
+// nothing on error).
+func (d *HybridDetector) spawnReseed(snap *mat.Dense) {
+	go func() {
+		if h := d.refitHook; h != nil {
+			h()
+		}
+		err := d.identify.Seed(snap)
+		if err != nil {
+			err = fmt.Errorf("core: hybrid identify re-seed: %w", err)
+		}
+		d.mu.Lock()
+		if err == nil {
+			d.refits++
+		}
+		d.gate.EndLocked(err)
+		d.mu.Unlock()
+	}()
+}
+
+// Refit synchronously refits both stages: the triage stage from its own
+// retained state, the identification stage re-seeded from the hybrid's
+// clean-bin window. It serializes with background re-seeds but never
+// blocks concurrent detection (both stages fit on snapshots and swap
+// atomically). A failed fit leaves that stage's previous model in
+// force.
+func (d *HybridDetector) Refit() error {
+	terr := d.triage.Refit()
+
+	d.mu.Lock()
+	d.gate.BeginLocked()
+	// The window is never empty: construction and Seed reject empty
+	// histories and prefill the ring, and rows are only ever added.
+	snap := d.window.Matrix()
+	d.mu.Unlock()
+
+	ierr := d.identify.Seed(snap)
+	if ierr != nil {
+		ierr = fmt.Errorf("core: hybrid identify refit: %w", ierr)
+	}
+
+	d.mu.Lock()
+	if terr == nil && ierr == nil {
+		d.refits++
+	}
+	d.gate.EndLocked(nil)
+	d.mu.Unlock()
+	return errors.Join(terr, ierr)
+}
+
+// Seed re-seeds both stages from the history block and refills the
+// clean-bin window with it, serializing with in-flight re-seeds. The
+// processed-bin counter and stage sequence numbers keep running; the
+// escalation run resets (the history is presumed clean).
+func (d *HybridDetector) Seed(history *mat.Dense) error {
+	bins, cols := history.Dims()
+	if cols != d.links {
+		return fmt.Errorf("core: seed history has %d links, detector expects %d", cols, d.links)
+	}
+	if bins == 0 {
+		return fmt.Errorf("core: seed history is empty")
+	}
+	d.mu.Lock()
+	d.gate.BeginLocked()
+	capacity := d.window.Cap()
+	d.mu.Unlock()
+
+	err := errors.Join(d.triage.Seed(history), d.identify.Seed(history))
+	var window *mat.RowRing
+	if err == nil {
+		window = mat.NewRowRing(capacity, d.links)
+		for b := max(0, bins-capacity); b < bins; b++ {
+			window.Push(history.RowView(b))
+		}
+	}
+
+	d.mu.Lock()
+	if err == nil {
+		d.window = window
+		d.run = 0
+		d.sinceRefit = 0
+		d.refits++
+	}
+	d.gate.EndLocked(nil)
+	d.mu.Unlock()
+	return err
+}
+
+// WaitRefits blocks until no fit is in flight anywhere in the hybrid:
+// its own background re-seed, then each stage's internal fits.
+func (d *HybridDetector) WaitRefits() {
+	d.gate.Wait()
+	d.triage.WaitRefits()
+	d.identify.WaitRefits()
+}
+
+// TakeRefitError returns and clears the deferred errors from the last
+// failed background fits — the hybrid's own re-seed and both stages' —
+// joined, if any.
+func (d *HybridDetector) TakeRefitError() error {
+	return errors.Join(d.gate.TakeError(), d.triage.TakeRefitError(), d.identify.TakeRefitError())
+}
+
+// Stats reports the detector's current state. Rank is the
+// identification stage's normal-subspace rank; Refits counts hybrid-
+// level fits (explicit Refit/Seed and background re-seeds of the
+// identification stage — the triage stage's own refit cadence is
+// visible through HybridStats).
+func (d *HybridDetector) Stats() ViewStats {
+	d.mu.Lock()
+	processed, refits := d.processed, d.refits
+	d.mu.Unlock()
+	return ViewStats{
+		Backend:   "hybrid",
+		Links:     d.links,
+		Processed: processed,
+		Rank:      d.identify.Stats().Rank,
+		Refits:    refits,
+	}
+}
+
+// HybridStats reports the two-stage breakdown: per-stage detector
+// snapshots and the escalation counters.
+func (d *HybridDetector) HybridStats() HybridStats {
+	d.mu.Lock()
+	hs := HybridStats{
+		TriageAlarms: d.triageAlarms,
+		Escalated:    d.escalated,
+		Identified:   d.identified,
+		Suppressed:   d.suppressed,
+	}
+	d.mu.Unlock()
+	hs.Triage = d.triage.Stats()
+	hs.Identify = d.identify.Stats()
+	return hs
+}

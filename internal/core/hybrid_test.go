@@ -1,0 +1,377 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"netanomaly/internal/mat"
+)
+
+// stubStage is a scripted ViewDetector for exercising the hybrid's
+// escalation plumbing without real models. Each row's first column is a
+// marker the alarm predicate reads; the stage records every batch and
+// seed it receives.
+type stubStage struct {
+	mu        sync.Mutex
+	backend   string
+	links     int
+	processed int
+	refits    int
+	alarmAt   func(row []float64) (Diagnosis, bool)
+	batches   []*mat.Dense
+	seeds     []*mat.Dense
+	seedErr   error
+	deferred  error
+}
+
+func (s *stubStage) Seed(h *mat.Dense) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := mat.Zeros(h.Rows(), h.Cols())
+	copy(cp.RawData(), h.RawData())
+	s.seeds = append(s.seeds, cp)
+	if s.seedErr != nil {
+		return s.seedErr
+	}
+	s.refits++
+	return nil
+}
+
+func (s *stubStage) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bins, _ := y.Dims()
+	s.batches = append(s.batches, y)
+	var alarms []Alarm
+	for b := 0; b < bins; b++ {
+		if diag, ok := s.alarmAt(y.RowView(b)); ok {
+			diag.Bin = s.processed + b
+			alarms = append(alarms, Alarm{Seq: s.processed + b, Diagnosis: diag})
+		}
+	}
+	s.processed += bins
+	return alarms, nil
+}
+
+func (s *stubStage) Refit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refits++
+	return nil
+}
+
+func (s *stubStage) WaitRefits() {}
+
+func (s *stubStage) TakeRefitError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.deferred
+	s.deferred = nil
+	return err
+}
+
+func (s *stubStage) Stats() ViewStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ViewStats{Backend: s.backend, Links: s.links, Processed: s.processed, Refits: s.refits}
+}
+
+func (s *stubStage) receivedRows() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []float64
+	for _, b := range s.batches {
+		for r := 0; r < b.Rows(); r++ {
+			out = append(out, b.At(r, 0))
+		}
+	}
+	return out
+}
+
+// Marker convention for stub batches (first column of each row):
+// 0 clean, 1 triage-only alarm, 2 identify-only alarm, 3 both stages
+// alarm. The identify stub attributes flow 7.
+func stubStages(links int) (*stubStage, *stubStage) {
+	triage := &stubStage{backend: "stub-triage", links: links, alarmAt: func(row []float64) (Diagnosis, bool) {
+		v := row[0]
+		return Diagnosis{SPE: v, Threshold: 0.5, Flow: -1, Bytes: v}, v == 1 || v == 3
+	}}
+	identify := &stubStage{backend: "stub-identify", links: links, alarmAt: func(row []float64) (Diagnosis, bool) {
+		v := row[0]
+		return Diagnosis{SPE: 2 * v, Threshold: 0.5, Flow: 7, Bytes: v}, v == 2 || v == 3
+	}}
+	return triage, identify
+}
+
+func markerBatch(links int, markers ...float64) *mat.Dense {
+	y := mat.Zeros(len(markers), links)
+	for b, v := range markers {
+		y.Set(b, 0, v)
+	}
+	return y
+}
+
+func newStubHybrid(t *testing.T, links int, cfg HybridConfig) (*HybridDetector, *stubStage, *stubStage) {
+	t.Helper()
+	triage, identify := stubStages(links)
+	d, err := NewHybridDetector(triage, identify, mat.Zeros(4, links), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, triage, identify
+}
+
+func TestHybridEscalateImmediate(t *testing.T) {
+	const links = 3
+	d, triage, identify := newStubHybrid(t, links, HybridConfig{})
+
+	alarms, err := d.ProcessBatch(markerBatch(links, 0, 1, 0, 3, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identification saw exactly the triage-alarmed rows.
+	if got := identify.receivedRows(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 1 {
+		t.Fatalf("identify stage received rows %v, want [1 3 1]", got)
+	}
+	if got := triage.receivedRows(); len(got) != 6 {
+		t.Fatalf("triage stage received %d rows, want every bin", len(got))
+	}
+	// One alarm per triage-alarmed bin, in order; the confirmed bin
+	// (marker 3) carries the identify stage's flow.
+	if len(alarms) != 3 {
+		t.Fatalf("alarms: %+v", alarms)
+	}
+	wantSeq := []int{1, 3, 4}
+	wantFlow := []int{-1, 7, -1}
+	for i, a := range alarms {
+		if a.Seq != wantSeq[i] || a.Bin != wantSeq[i] || a.Flow != wantFlow[i] {
+			t.Fatalf("alarm %d = %+v, want seq %d flow %d", i, a, wantSeq[i], wantFlow[i])
+		}
+	}
+	hs := d.HybridStats()
+	if hs.TriageAlarms != 3 || hs.Escalated != 3 || hs.Identified != 1 || hs.Suppressed != 0 {
+		t.Fatalf("stats %+v", hs)
+	}
+	if hs.Triage.Backend != "stub-triage" || hs.Identify.Backend != "stub-identify" {
+		t.Fatalf("stage stats %+v", hs)
+	}
+	if got := d.Stats(); got.Backend != "hybrid" || got.Processed != 6 || got.Links != links {
+		t.Fatalf("Stats() = %+v", got)
+	}
+}
+
+func TestHybridEscalateConfirm(t *testing.T) {
+	const links = 2
+	d, _, identify := newStubHybrid(t, links, HybridConfig{Escalation: EscalateConfirm, Confirm: 2})
+
+	// Runs: bin1 (len 1, suppressed), bins 3-5 (len 3: bin 3 suppressed,
+	// bins 4 and 5 escalate).
+	alarms, err := d.ProcessBatch(markerBatch(links, 0, 3, 0, 3, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := identify.receivedRows(); len(got) != 2 {
+		t.Fatalf("identify received %d rows, want 2 (confirmed tail of the run)", len(got))
+	}
+	// Every triage alarm still fires; only confirmed bins carry flow.
+	wantFlow := map[int]int{1: -1, 3: -1, 4: 7, 5: 7}
+	if len(alarms) != len(wantFlow) {
+		t.Fatalf("alarms: %+v", alarms)
+	}
+	for _, a := range alarms {
+		if want, ok := wantFlow[a.Seq]; !ok || a.Flow != want {
+			t.Fatalf("alarm %+v, want flow %d", a, wantFlow[a.Seq])
+		}
+	}
+	hs := d.HybridStats()
+	if hs.Suppressed != 2 || hs.Escalated != 2 || hs.Identified != 2 {
+		t.Fatalf("stats %+v", hs)
+	}
+
+	// The run carries across batch boundaries: the stream ended mid-run,
+	// so the next batch's first alarmed bin is already confirmed.
+	alarms, err = d.ProcessBatch(markerBatch(links, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 1 || alarms[0].Seq != 6 || alarms[0].Flow != 7 {
+		t.Fatalf("cross-batch run not continued: %+v", alarms)
+	}
+}
+
+func TestHybridEscalateAlways(t *testing.T) {
+	const links = 2
+	d, _, identify := newStubHybrid(t, links, HybridConfig{Escalation: EscalateAlways})
+
+	// Marker 2: triage misses, identify catches — the alarm must still
+	// surface, with flow attribution.
+	alarms, err := d.ProcessBatch(markerBatch(links, 0, 2, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := identify.receivedRows(); len(got) != 4 {
+		t.Fatalf("always policy escalated %d of 4 bins", len(got))
+	}
+	if len(alarms) != 2 {
+		t.Fatalf("alarms: %+v", alarms)
+	}
+	if alarms[0].Seq != 1 || alarms[0].Flow != 7 {
+		t.Fatalf("triage-missed bin not surfaced by identify: %+v", alarms[0])
+	}
+	if alarms[1].Seq != 2 || alarms[1].Flow != -1 {
+		t.Fatalf("triage-only bin wrong: %+v", alarms[1])
+	}
+}
+
+func TestHybridSeqRebaseWithPreStreamedStages(t *testing.T) {
+	const links = 2
+	triage, identify := stubStages(links)
+	// Both stages streamed before the hybrid wrapped them; hybrid
+	// sequence numbers must still start at zero.
+	if _, err := triage.ProcessBatch(mat.Zeros(5, links)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := identify.ProcessBatch(mat.Zeros(9, links)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewHybridDetector(triage, identify, mat.Zeros(4, links), HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms, err := d.ProcessBatch(markerBatch(links, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 1 || alarms[0].Seq != 1 || alarms[0].Flow != 7 {
+		t.Fatalf("rebased alarms wrong: %+v", alarms)
+	}
+}
+
+func TestHybridBackgroundReseed(t *testing.T) {
+	const links = 2
+	d, _, identify := newStubHybrid(t, links, HybridConfig{RefitEvery: 4, Window: 8})
+
+	// Two clean bins, then two alarmed ones: the re-seed fires after
+	// bin 4 and must fit on clean bins only (4 history + 2 clean).
+	if _, err := d.ProcessBatch(markerBatch(links, 0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitRefits()
+	identify.mu.Lock()
+	seeds := len(identify.seeds)
+	var rows int
+	if seeds > 0 {
+		rows = identify.seeds[0].Rows()
+	}
+	identify.mu.Unlock()
+	if seeds != 1 || rows != 6 {
+		t.Fatalf("re-seed: %d seeds, %d rows, want 1 seed of 6 clean rows", seeds, rows)
+	}
+	if err := d.TakeRefitError(); err != nil {
+		t.Fatalf("clean re-seed parked an error: %v", err)
+	}
+	if got := d.Stats().Refits; got != 1 {
+		t.Fatalf("refits = %d want 1", got)
+	}
+}
+
+func TestHybridReseedFailureDeferred(t *testing.T) {
+	const links = 2
+	triage, identify := stubStages(links)
+	identify.seedErr = errors.New("boom")
+	d, err := NewHybridDetector(triage, identify, mat.Zeros(4, links), HybridConfig{RefitEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ProcessBatch(markerBatch(links, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	d.WaitRefits()
+	// The failed re-seed surfaces on the next batch (or TakeRefitError),
+	// alongside that batch's valid detections.
+	alarms, err := d.ProcessBatch(markerBatch(links, 3))
+	if err == nil || !strings.Contains(err.Error(), "re-seed") {
+		t.Fatalf("deferred re-seed failure not reported: %v", err)
+	}
+	if len(alarms) != 1 || alarms[0].Flow != 7 {
+		t.Fatalf("detections dropped alongside deferred error: %+v", alarms)
+	}
+	if err := d.TakeRefitError(); err != nil {
+		t.Fatalf("deferred error not cleared: %v", err)
+	}
+}
+
+func TestHybridRejectsMismatches(t *testing.T) {
+	triage, _ := stubStages(3)
+	_, identify := stubStages(4)
+	if _, err := NewHybridDetector(triage, identify, mat.Zeros(4, 3), HybridConfig{}); err == nil {
+		t.Fatal("stage width mismatch accepted")
+	}
+	d, _, _ := func() (*HybridDetector, *stubStage, *stubStage) {
+		tr, id := stubStages(3)
+		d, err := NewHybridDetector(tr, id, mat.Zeros(4, 3), HybridConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, tr, id
+	}()
+	if _, err := d.ProcessBatch(mat.Zeros(2, 5)); err == nil {
+		t.Fatal("mis-sized batch accepted")
+	}
+	if got := d.Stats().Processed; got != 0 {
+		t.Fatalf("rejected batch advanced the counter to %d", got)
+	}
+}
+
+func TestHybridTakeRefitErrorJoinsStages(t *testing.T) {
+	const links = 2
+	triage, identify := stubStages(links)
+	triage.deferred = errors.New("triage-deferred")
+	identify.deferred = errors.New("identify-deferred")
+	d, err := NewHybridDetector(triage, identify, mat.Zeros(4, links), HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.TakeRefitError()
+	if got == nil || !strings.Contains(got.Error(), "triage-deferred") || !strings.Contains(got.Error(), "identify-deferred") {
+		t.Fatalf("stage deferred errors not joined: %v", got)
+	}
+	if d.TakeRefitError() != nil {
+		t.Fatal("deferred errors not cleared")
+	}
+}
+
+func TestParseEscalation(t *testing.T) {
+	cases := []struct {
+		in      string
+		policy  Escalation
+		confirm int
+		ok      bool
+	}{
+		{"", EscalateImmediate, 0, true},
+		{"immediate", EscalateImmediate, 0, true},
+		{"always", EscalateAlways, 0, true},
+		{"confirm", EscalateConfirm, 0, true},
+		{"confirm:3", EscalateConfirm, 3, true},
+		{"confirm:0", 0, 0, false},
+		{"confirm:x", 0, 0, false},
+		{"sometimes", 0, 0, false},
+	}
+	for _, c := range cases {
+		policy, confirm, err := ParseEscalation(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseEscalation(%q) err = %v", c.in, err)
+		}
+		if c.ok && (policy != c.policy || confirm != c.confirm) {
+			t.Fatalf("ParseEscalation(%q) = %v, %d", c.in, policy, confirm)
+		}
+	}
+	for _, e := range []Escalation{EscalateImmediate, EscalateConfirm, EscalateAlways} {
+		back, _, err := ParseEscalation(e.String())
+		if err != nil || back != e {
+			t.Fatalf("round trip %v: %v %v", e, back, err)
+		}
+	}
+}

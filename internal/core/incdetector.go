@@ -62,9 +62,7 @@ type IncrementalDetector struct {
 	processed  int
 	sinceRefit int
 	refitEvery int
-	refitting  bool
-	refitDone  *sync.Cond // on mu
-	refitErr   error
+	gate       *RefitGate
 	refits     int
 	// skipped counts drift-gated intervals where a candidate model was
 	// solved but found too close to the active one to swap.
@@ -107,7 +105,7 @@ func NewIncrementalDetector(history, a *mat.Dense, cfg IncrementalConfig) (*Incr
 		rank:       diag.Detector().Model().Rank(),
 		refitEvery: cfg.RefitEvery,
 	}
-	d.refitDone = sync.NewCond(&d.mu)
+	d.gate = NewRefitGate(&d.mu)
 	d.diag.Store(diag)
 	return d, nil
 }
@@ -175,15 +173,13 @@ func (d *IncrementalDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
 	// Anomalous bins are withheld from the tracked model, mirroring the
 	// window exclusion of the subspace backend.
 	d.tracker.UpdateMasked(y, flags)
-	err := d.refitErr
-	d.refitErr = nil
+	err := d.gate.TakeErrorLocked()
 	var snap *CovTracker
 	rank := d.rank
 	if d.refitEvery > 0 {
 		d.sinceRefit += bins
-		if d.sinceRefit >= d.refitEvery && !d.refitting {
+		if d.sinceRefit >= d.refitEvery && d.gate.TryBeginLocked() {
 			d.sinceRefit = 0
-			d.refitting = true
 			snap = d.tracker.Snapshot()
 		}
 	}
@@ -198,8 +194,9 @@ func (d *IncrementalDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
 // spawnRebuild solves a candidate model from the tracker snapshot in a
 // background goroutine and swaps it in when it has drifted at least
 // DriftTol from the model active at decision time (always, when
-// DriftTol is 0). The caller has already set d.refitting; the goroutine
-// releases it after the swap decision so fits never interleave.
+// DriftTol is 0). The caller has already claimed the gate; the
+// goroutine releases it after the swap decision so fits never
+// interleave.
 func (d *IncrementalDetector) spawnRebuild(snap *CovTracker, rank int) {
 	go func() {
 		if h := d.refitHook; h != nil {
@@ -220,17 +217,17 @@ func (d *IncrementalDetector) spawnRebuild(snap *CovTracker, rank int) {
 		if swap {
 			d.diag.Store(cand)
 		}
+		if err != nil {
+			err = fmt.Errorf("core: incremental rebuild: %w", err)
+		}
 		d.mu.Lock()
-		d.refitting = false
 		switch {
-		case err != nil:
-			d.refitErr = fmt.Errorf("core: incremental rebuild: %w", err)
-		case swap:
+		case err == nil && swap:
 			d.refits++
-		default:
+		case err == nil:
 			d.skipped++
 		}
-		d.refitDone.Broadcast()
+		d.gate.EndLocked(err)
 		d.mu.Unlock()
 	}()
 }
@@ -242,10 +239,7 @@ func (d *IncrementalDetector) spawnRebuild(snap *CovTracker, rank int) {
 // atomic swap). A failed rebuild leaves the previous model in force.
 func (d *IncrementalDetector) Refit() error {
 	d.mu.Lock()
-	for d.refitting {
-		d.refitDone.Wait()
-	}
-	d.refitting = true
+	d.gate.BeginLocked()
 	snap := d.tracker.Snapshot()
 	rank := d.rank
 	d.mu.Unlock()
@@ -258,11 +252,10 @@ func (d *IncrementalDetector) Refit() error {
 	}
 
 	d.mu.Lock()
-	d.refitting = false
 	if err == nil {
 		d.refits++
 	}
-	d.refitDone.Broadcast()
+	d.gate.EndLocked(nil)
 	d.mu.Unlock()
 	return err
 }
@@ -280,10 +273,7 @@ func (d *IncrementalDetector) Seed(history *mat.Dense) error {
 		return ErrTooFewSamples
 	}
 	d.mu.Lock()
-	for d.refitting {
-		d.refitDone.Wait()
-	}
-	d.refitting = true
+	d.gate.BeginLocked()
 	d.mu.Unlock()
 
 	diag, err := NewDiagnoser(history, d.a, d.opts)
@@ -299,36 +289,23 @@ func (d *IncrementalDetector) Seed(history *mat.Dense) error {
 	}
 
 	d.mu.Lock()
-	d.refitting = false
 	if err == nil {
 		d.tracker = tracker
 		d.rank = diag.Detector().Model().Rank()
 		d.sinceRefit = 0
 		d.refits++
 	}
-	d.refitDone.Broadcast()
+	d.gate.EndLocked(nil)
 	d.mu.Unlock()
 	return err
 }
 
 // WaitRefits blocks until no rebuild is in flight.
-func (d *IncrementalDetector) WaitRefits() {
-	d.mu.Lock()
-	for d.refitting {
-		d.refitDone.Wait()
-	}
-	d.mu.Unlock()
-}
+func (d *IncrementalDetector) WaitRefits() { d.gate.Wait() }
 
 // TakeRefitError returns and clears the deferred error from the last
 // failed background rebuild, if any.
-func (d *IncrementalDetector) TakeRefitError() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.refitErr
-	d.refitErr = nil
-	return err
-}
+func (d *IncrementalDetector) TakeRefitError() error { return d.gate.TakeError() }
 
 // Stats reports the detector's current state. Refits counts swapped-in
 // rebuilds; drift-gated intervals that solved a candidate but kept the

@@ -37,14 +37,11 @@ type OnlineDetector struct {
 	processed  int
 	sinceRefit int
 	refitEvery int
-	// refitting serializes model fits: it is held (true) from window
-	// snapshot to model swap by background and explicit refits alike, so
-	// two fits never run concurrently and a fit on an older snapshot can
-	// never overwrite a newer model. refitDone signals it turning false.
-	refitting bool
-	refitDone *sync.Cond // on mu
-	refitErr  error      // deferred error from the last failed background refit
-	refits    int        // completed model rebuilds since creation
+	// gate serializes model fits (held from window snapshot to model
+	// swap by background and explicit refits alike) and parks the
+	// deferred error of a failed background refit.
+	gate   *RefitGate
+	refits int // completed model rebuilds since creation
 
 	// refitHook, when set (before streaming starts), runs inside the
 	// background refit goroutine before fitting begins. Tests use it to
@@ -85,7 +82,7 @@ func NewOnlineDetector(history, a *mat.Dense, cfg OnlineConfig) (*OnlineDetector
 		cfg.Window = t
 	}
 	o := &OnlineDetector{a: a, opts: cfg.Options, links: links, refitEvery: cfg.RefitEvery}
-	o.refitDone = sync.NewCond(&o.mu)
+	o.gate = NewRefitGate(&o.mu)
 	o.window = mat.NewRowRing(cfg.Window, links)
 	for b := t - cfg.Window; b < t; b++ {
 		o.window.Push(history.RowView(b))
@@ -129,8 +126,7 @@ func (o *OnlineDetector) Process(y []float64) (Alarm, bool, error) {
 	if !anomalous {
 		o.window.Push(y)
 	}
-	err := o.refitErr
-	o.refitErr = nil
+	err := o.gate.TakeErrorLocked()
 	snapshot := o.maybeSnapshotLocked(1)
 	o.mu.Unlock()
 
@@ -165,8 +161,7 @@ func (o *OnlineDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
 			o.window.Push(y.RowView(b))
 		}
 	}
-	err := o.refitErr
-	o.refitErr = nil
+	err := o.gate.TakeErrorLocked()
 	snapshot := o.maybeSnapshotLocked(bins)
 	o.mu.Unlock()
 
@@ -185,18 +180,17 @@ func (o *OnlineDetector) maybeSnapshotLocked(n int) *mat.Dense {
 		return nil
 	}
 	o.sinceRefit += n
-	if o.sinceRefit < o.refitEvery || o.refitting {
+	if o.sinceRefit < o.refitEvery || !o.gate.TryBeginLocked() {
 		return nil
 	}
 	o.sinceRefit = 0
-	o.refitting = true
 	return o.window.Matrix()
 }
 
 // spawnRefit fits a new model on the snapshot in a background goroutine
 // and swaps it in atomically on success. On failure the previous model
 // stays active and the error is stashed for the next Process call. The
-// caller has already set o.refitting; the goroutine releases it (swap
+// caller has already claimed the gate; the goroutine releases it (swap
 // first, then release, so no other fit can interleave between them).
 func (o *OnlineDetector) spawnRefit(w *mat.Dense) {
 	go func() {
@@ -206,15 +200,14 @@ func (o *OnlineDetector) spawnRefit(w *mat.Dense) {
 		diag, err := NewDiagnoser(w, o.a, o.opts)
 		if err == nil {
 			o.diag.Store(diag)
+		} else {
+			err = fmt.Errorf("core: online refit: %w", err)
 		}
 		o.mu.Lock()
-		o.refitting = false
-		if err != nil {
-			o.refitErr = fmt.Errorf("core: online refit: %w", err)
-		} else {
+		if err == nil {
 			o.refits++
 		}
-		o.refitDone.Broadcast()
+		o.gate.EndLocked(err)
 		o.mu.Unlock()
 	}()
 }
@@ -228,10 +221,7 @@ func (o *OnlineDetector) spawnRefit(w *mat.Dense) {
 // previous model in force.
 func (o *OnlineDetector) Refit() error {
 	o.mu.Lock()
-	for o.refitting {
-		o.refitDone.Wait()
-	}
-	o.refitting = true
+	o.gate.BeginLocked()
 	w := o.window.Matrix()
 	o.mu.Unlock()
 
@@ -246,11 +236,10 @@ func (o *OnlineDetector) Refit() error {
 	}
 
 	o.mu.Lock()
-	o.refitting = false
 	if err == nil {
 		o.refits++
 	}
-	o.refitDone.Broadcast()
+	o.gate.EndLocked(nil)
 	o.mu.Unlock()
 	return err
 }
@@ -271,10 +260,7 @@ func (o *OnlineDetector) Seed(history *mat.Dense) error {
 		return fmt.Errorf("core: seed history is empty")
 	}
 	o.mu.Lock()
-	for o.refitting {
-		o.refitDone.Wait()
-	}
-	o.refitting = true
+	o.gate.BeginLocked()
 	capacity := o.window.Cap()
 	o.mu.Unlock()
 
@@ -294,7 +280,6 @@ func (o *OnlineDetector) Seed(history *mat.Dense) error {
 	}
 
 	o.mu.Lock()
-	o.refitting = false
 	if err == nil {
 		o.window = window
 		o.refits++
@@ -303,7 +288,7 @@ func (o *OnlineDetector) Seed(history *mat.Dense) error {
 		// that was just seeded.
 		o.sinceRefit = 0
 	}
-	o.refitDone.Broadcast()
+	o.gate.EndLocked(nil)
 	o.mu.Unlock()
 	return err
 }
@@ -327,26 +312,14 @@ func (o *OnlineDetector) Stats() ViewStats {
 // other goroutines keep streaming (each in-flight fit is waited out as
 // it completes); it does not prevent new refits from starting after it
 // returns.
-func (o *OnlineDetector) WaitRefits() {
-	o.mu.Lock()
-	for o.refitting {
-		o.refitDone.Wait()
-	}
-	o.mu.Unlock()
-}
+func (o *OnlineDetector) WaitRefits() { o.gate.Wait() }
 
 // TakeRefitError returns and clears the deferred error from the last
 // failed background refit, if any. Streaming callers see these errors
 // on their next Process/ProcessBatch call; TakeRefitError exists for
 // shutdown paths that stop processing (engine Flush/Errs) and would
 // otherwise never observe a failure from the final refit.
-func (o *OnlineDetector) TakeRefitError() error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	err := o.refitErr
-	o.refitErr = nil
-	return err
-}
+func (o *OnlineDetector) TakeRefitError() error { return o.gate.TakeError() }
 
 // Diagnoser returns the currently active model pipeline. The returned
 // value is immutable; a concurrent refit swaps in a new one rather than

@@ -1,0 +1,99 @@
+package core
+
+import "sync"
+
+// RefitGate is the fit-serialization device every streaming backend runs
+// its model rebuilds behind: a fit-in-flight flag with a cond to wait it
+// out, plus the deferred error a failed background fit parks for a later
+// ProcessBatch or TakeRefitError call to report. The gate borrows the
+// backend's own mutex — the flag must be read and written under the same
+// lock that guards the rest of the backend's mutable state (window,
+// counters, forecaster state), so the gate cannot own a lock of its own.
+//
+// The lifecycle is identical across backends:
+//
+//   - Automatic background fit: TryBeginLocked (skip the interval when a
+//     fit is already in flight), snapshot the fit inputs under the lock,
+//     fit outside it, then EndLocked(err) — a non-nil err parks as the
+//     deferred error.
+//   - Explicit Refit/Seed: BeginLocked (wait out any in-flight fit),
+//     snapshot, fit, EndLocked(nil) — the fit error is returned to the
+//     caller directly instead of being parked.
+//   - WaitRefits: Wait (or WaitLocked under the mutex).
+//
+// Holding the gate from snapshot to swap is what guarantees two fits
+// never run concurrently and a fit on an older snapshot can never
+// overwrite a newer model.
+type RefitGate struct {
+	mu     *sync.Mutex
+	done   *sync.Cond
+	active bool
+	err    error
+}
+
+// NewRefitGate returns a gate serialized by the backend's own mutex.
+func NewRefitGate(mu *sync.Mutex) *RefitGate {
+	return &RefitGate{mu: mu, done: sync.NewCond(mu)}
+}
+
+// BeginLocked waits out any in-flight fit and claims the gate. Callers
+// hold the mutex; the cond releases it while waiting.
+func (g *RefitGate) BeginLocked() {
+	for g.active {
+		g.done.Wait()
+	}
+	g.active = true
+}
+
+// TryBeginLocked claims the gate only when no fit is in flight,
+// reporting whether it did. Callers hold the mutex.
+func (g *RefitGate) TryBeginLocked() bool {
+	if g.active {
+		return false
+	}
+	g.active = true
+	return true
+}
+
+// EndLocked releases the gate and wakes waiters. A non-nil err parks as
+// the deferred error (the background-fit path); synchronous fits pass
+// nil and return their error to the caller directly. Callers hold the
+// mutex.
+func (g *RefitGate) EndLocked(err error) {
+	g.active = false
+	if err != nil {
+		g.err = err
+	}
+	g.done.Broadcast()
+}
+
+// WaitLocked blocks until no fit is in flight. Callers hold the mutex.
+func (g *RefitGate) WaitLocked() {
+	for g.active {
+		g.done.Wait()
+	}
+}
+
+// Wait takes the mutex and blocks until no fit is in flight. It does
+// not prevent new fits from starting after it returns.
+func (g *RefitGate) Wait() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.WaitLocked()
+}
+
+// TakeErrorLocked returns and clears the parked deferred error, if any.
+// Callers hold the mutex.
+func (g *RefitGate) TakeErrorLocked() error {
+	err := g.err
+	g.err = nil
+	return err
+}
+
+// TakeError takes the mutex, then returns and clears the deferred
+// error, if any.
+func (g *RefitGate) TakeError() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.TakeErrorLocked()
+}

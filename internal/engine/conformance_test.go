@@ -38,9 +38,10 @@ const (
 	confSpikeBin    = 60
 )
 
-// conformanceFixtures builds all seven backends over one synthetic
+// conformanceFixtures builds all eight backends over one synthetic
 // Abilene trace (shared OD matrix, shared routing): the four subspace
-// family members plus the three forecast baselines.
+// family members, the three forecast baselines, and the hybrid
+// triage→identification composition.
 func conformanceFixtures(t *testing.T, seed int64) []backendFixture {
 	t.Helper()
 	topo := topology.Abilene()
@@ -100,7 +101,27 @@ func conformanceFixtures(t *testing.T, seed int64) []backendFixture {
 		}
 		fixtures = append(fixtures, backendFixture{string(kind), det, history, stream, confSpikeBin, confSpikeBin})
 	}
+	fixtures = append(fixtures, backendFixture{"hybrid", hybridFixture(t, history, routing), history, stream, confSpikeBin, confSpikeBin})
 	return fixtures
+}
+
+// hybridFixture composes the 8th backend: an EWMA triage stage over a
+// windowed subspace identification stage with immediate escalation.
+func hybridFixture(t *testing.T, history, routing *mat.Dense) *core.HybridDetector {
+	t.Helper()
+	triage, err := forecast.NewDetector(history, forecast.Config{Kind: forecast.EWMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identify, err := core.NewOnlineDetector(history, routing, core.OnlineConfig{Window: history.Rows()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := core.NewHybridDetector(triage, identify, history, core.HybridConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hybrid
 }
 
 // TestViewDetectorConformance runs every backend through the shared
@@ -350,6 +371,117 @@ func TestStreamingEWMAAgreesWithBidirectionalResiduals(t *testing.T) {
 		if !streamed[b] {
 			t.Fatalf("offline bidirectional residuals flag bin %d that streaming missed", b)
 		}
+	}
+}
+
+// TestHybridFlowAttributionMatchesSubspace pins the hybrid's reason to
+// exist: on the shared spiked trace the hybrid must attribute the spike
+// to the same OD flow the full subspace backend identifies, while its
+// identification stage sees only the escalated bins (a handful, not the
+// whole stream).
+func TestHybridFlowAttributionMatchesSubspace(t *testing.T) {
+	fixtures := conformanceFixtures(t, 123)
+	byName := make(map[string]backendFixture, len(fixtures))
+	for _, f := range fixtures {
+		byName[f.name] = f
+	}
+	spikeDiag := make(map[string]core.Diagnosis)
+	for _, name := range []string{"subspace", "hybrid"} {
+		f := byName[name]
+		alarms, err := f.det.ProcessBatch(f.stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range alarms {
+			if a.Seq == confSpikeBin {
+				spikeDiag[name] = a.Diagnosis
+			}
+		}
+	}
+	sub, hyb := spikeDiag["subspace"], spikeDiag["hybrid"]
+	if sub.Flow < 0 {
+		t.Fatalf("subspace did not identify the spike: %+v", sub)
+	}
+	if hyb.Flow != sub.Flow {
+		t.Fatalf("hybrid attributed flow %d, subspace %d", hyb.Flow, sub.Flow)
+	}
+	if hyb.SPE != sub.SPE || hyb.Bytes != sub.Bytes {
+		t.Fatalf("hybrid spike diagnosis %+v differs from subspace %+v (same seed model, same bin)", hyb, sub)
+	}
+	hs := byName["hybrid"].det.(*core.HybridDetector).HybridStats()
+	if hs.Escalated >= confStreamBins/2 {
+		t.Fatalf("hybrid escalated %d of %d bins; triage is supposed to keep the subspace stage cold", hs.Escalated, confStreamBins)
+	}
+	if hs.Identified < 1 || hs.Identify.Processed != hs.Escalated {
+		t.Fatalf("stage accounting wrong: %+v", hs)
+	}
+}
+
+// TestMonitorCloseDuringHybridReseed pins Close against an in-flight
+// hybrid background re-seed of the identification stage: Close must
+// wait it out and no goroutine may outlive it. Run under -race in CI.
+func TestMonitorCloseDuringHybridReseed(t *testing.T) {
+	const bins, links = 64, 4
+	history := mat.Zeros(bins, links)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < links; j++ {
+			history.Set(i, j, 100+10*float64((i*7+j*3)%13))
+		}
+	}
+	triage, err := forecast.NewDetector(history, forecast.Config{Kind: forecast.EWMA, Alpha: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identify, err := core.NewOnlineDetector(history, mat.Identity(links), core.OnlineConfig{Window: bins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := core.NewHybridDetector(triage, identify, history, core.HybridConfig{RefitEvery: bins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	hybrid.SetRefitHook(func() {
+		close(started)
+		<-release
+	})
+
+	goroutinesBefore := runtime.NumGoroutine()
+	m := NewMonitor(Config{Workers: 1, BatchSize: bins})
+	if err := m.AddDetectorView("v", hybrid); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("v", history); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the background re-seed is in flight and held open
+
+	closed := make(chan struct{})
+	go func() {
+		m.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a hybrid re-seed was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the re-seed completed")
+	}
+	if errs := m.Errs(); len(errs) != 0 {
+		t.Fatalf("clean hybrid re-seed left errors: %v", errs)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across Close: %d before, %d after", goroutinesBefore, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

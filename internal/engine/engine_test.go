@@ -325,3 +325,36 @@ func TestMonitorErrors(t *testing.T) {
 	}
 	m.Close() // idempotent
 }
+
+// TestMonitorAlarmsArriveAfterClose pins the shutdown half of the alarm
+// contract: batches still queued when Close is called are drained, and
+// the alarms they raise — including ones raised while Close is already
+// in progress — remain retrievable through TakeAlarms afterwards.
+// Nothing queued before Close may be dropped.
+func TestMonitorAlarmsArriveAfterClose(t *testing.T) {
+	topo, history, stream, flow := viewData(t, 88, 1008, 96, 40)
+	m := NewMonitor(Config{Workers: 2, BatchSize: 16})
+	if err := m.AddView("v", history, topo.RoutingMatrix()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Ingest("v", stream); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush: Close itself must wait out the queued batches.
+	m.Close()
+	spiked := false
+	for _, a := range m.TakeAlarms() {
+		if a.Seq == 40 {
+			spiked = true
+			if a.Flow != flow {
+				t.Fatalf("post-Close alarm identified flow %d want %d", a.Flow, flow)
+			}
+		}
+	}
+	if !spiked {
+		t.Fatal("alarm raised during Close drain was dropped")
+	}
+	if got := m.TakeAlarms(); len(got) != 0 {
+		t.Fatalf("second TakeAlarms not empty: %d", len(got))
+	}
+}

@@ -16,10 +16,18 @@ import (
 type StreamResult struct {
 	// Backend names the scored detector ("subspace", "ewma", ...).
 	Backend string
-	// Detected of TrueAnomalies labeled bins raised an alarm.
+	// Detected of TrueAnomalies labeled bins raised an alarm. A labeled
+	// bin with no alarm is the detector's miss — for a hybrid backend,
+	// the triage stage's miss, since nothing unalarmed ever reaches its
+	// identification stage (except under the always-escalate policy).
 	Detected, TrueAnomalies int
 	// FalseAlarms of NormalBins unlabeled bins raised an alarm.
 	FalseAlarms, NormalBins int
+	// Identified of IdentTrials detected labeled bins carried the true
+	// OD flow. IdentTrials counts the detected labeled bins whose truth
+	// names a flow; both stay zero when the truth carries no flows or
+	// the backend never attributes them (Flow always -1).
+	Identified, IdentTrials int
 }
 
 // DetectionRate returns Detected/TrueAnomalies (0 when no anomalies).
@@ -38,30 +46,67 @@ func (r StreamResult) FalseAlarmRate() float64 {
 	return float64(r.FalseAlarms) / float64(r.NormalBins)
 }
 
-// String renders the result in the paper's Table 2 style.
+// IdentificationRate returns Identified/IdentTrials (0 when no trials).
+func (r StreamResult) IdentificationRate() float64 {
+	if r.IdentTrials == 0 {
+		return 0
+	}
+	return float64(r.Identified) / float64(r.IdentTrials)
+}
+
+// String renders the result in the paper's Table 2 style, with a flow
+// identification column when the evaluation scored any.
 func (r StreamResult) String() string {
-	return fmt.Sprintf("%-12s detection %d/%d (%.0f%%)  false alarms %d/%d (%.2f%%)",
+	s := fmt.Sprintf("%-12s detection %d/%d (%.0f%%)  false alarms %d/%d (%.2f%%)",
 		r.Backend, r.Detected, r.TrueAnomalies, 100*r.DetectionRate(),
 		r.FalseAlarms, r.NormalBins, 100*r.FalseAlarmRate())
+	if r.IdentTrials > 0 {
+		s += fmt.Sprintf("  identified %d/%d", r.Identified, r.IdentTrials)
+	}
+	return s
 }
 
 // ScoreAlarmBins scores a set of alarmed stream bins against the labeled
-// truth bins over a stream of streamBins total bins.
+// truth bins over a stream of streamBins total bins. Detection only; use
+// ScoreAlarmFlows when the alarms and truths carry OD flows.
 func ScoreAlarmBins(backend string, alarmBins map[int]bool, truthBins []int, streamBins int) StreamResult {
-	truth := make(map[int]bool, len(truthBins))
-	for _, b := range truthBins {
-		truth[b] = true
+	alarmFlows := make(map[int]int, len(alarmBins))
+	for b := range alarmBins {
+		alarmFlows[b] = -1
+	}
+	truth := make([]LabeledBin, len(truthBins))
+	for i, b := range truthBins {
+		truth[i] = LabeledBin{Bin: b, Flow: -1}
+	}
+	return ScoreAlarmFlows(backend, alarmFlows, truth, streamBins)
+}
+
+// ScoreAlarmFlows scores alarmed stream bins (mapped to the flow each
+// alarm attributed, -1 for none) against labeled truths over a stream of
+// streamBins total bins: detection and false alarms per bin, plus flow
+// identification for the detected truths that name a flow.
+func ScoreAlarmFlows(backend string, alarmFlows map[int]int, truth []LabeledBin, streamBins int) StreamResult {
+	truthFlows := make(map[int]int, len(truth))
+	for _, tb := range truth {
+		truthFlows[tb.Bin] = tb.Flow
 	}
 	r := StreamResult{
 		Backend:       backend,
-		TrueAnomalies: len(truth),
-		NormalBins:    streamBins - len(truth),
+		TrueAnomalies: len(truthFlows),
+		NormalBins:    streamBins - len(truthFlows),
 	}
-	for b := range alarmBins {
-		if truth[b] {
-			r.Detected++
-		} else {
+	for b, flow := range alarmFlows {
+		want, ok := truthFlows[b]
+		if !ok {
 			r.FalseAlarms++
+			continue
+		}
+		r.Detected++
+		if want >= 0 {
+			r.IdentTrials++
+			if flow == want {
+				r.Identified++
+			}
 		}
 	}
 	return r
@@ -76,12 +121,38 @@ func ScoreAlarmBins(backend string, alarmBins map[int]bool, truthBins []int, str
 // Section 7.3 online comparison runs: every backend sees the identical
 // bins and is scored on the identical labels.
 func EvaluateStreaming(det core.ViewDetector, stream *mat.Dense, batchSize int, truthBins []int) (StreamResult, error) {
+	truth := make([]LabeledBin, len(truthBins))
+	for i, b := range truthBins {
+		truth[i] = LabeledBin{Bin: b, Flow: -1}
+	}
+	return EvaluateStreamingFlows(det, stream, batchSize, truth)
+}
+
+// LabeledBin is one ground-truth anomaly for streaming evaluation: the
+// stream bin it lands in and, when known, the responsible OD flow
+// (Flow < 0 scores detection only).
+type LabeledBin struct {
+	Bin, Flow int
+}
+
+// EvaluateStreamingFlows is EvaluateStreaming with flow-attribution
+// scoring: truth entries that name an OD flow are additionally scored
+// on whether the detected bin's alarm identified that flow — the
+// paper's identification step, measured online. This is how the hybrid
+// backend's two claims separate: Detected/TrueAnomalies scores its
+// triage stage's misses, Identified/IdentTrials the identification
+// accuracy on the bins that escalated. Backends that never attribute
+// flows (forecast, multiscale) score 0/n identified on flow-labeled
+// truths.
+func EvaluateStreamingFlows(det core.ViewDetector, stream *mat.Dense, batchSize int, truth []LabeledBin) (StreamResult, error) {
 	bins, cols := stream.Dims()
 	if batchSize <= 0 {
 		batchSize = 64
 	}
 	base := det.Stats().Processed
-	flagged := make(map[int]bool)
+	// flagged maps an alarmed stream bin to the flow its alarm
+	// attributed (-1 when the backend does not identify).
+	flagged := make(map[int]int)
 	data := stream.RawData()
 	for r0 := 0; r0 < bins; r0 += batchSize {
 		r1 := r0 + batchSize
@@ -94,12 +165,12 @@ func EvaluateStreaming(det core.ViewDetector, stream *mat.Dense, batchSize int, 
 			return StreamResult{}, fmt.Errorf("eval: streaming %s: %w", det.Stats().Backend, err)
 		}
 		for _, a := range alarms {
-			flagged[a.Seq-base] = true
+			flagged[a.Seq-base] = a.Flow
 		}
 	}
 	det.WaitRefits()
 	if err := det.TakeRefitError(); err != nil {
 		return StreamResult{}, fmt.Errorf("eval: streaming %s refit: %w", det.Stats().Backend, err)
 	}
-	return ScoreAlarmBins(det.Stats().Backend, flagged, truthBins, bins), nil
+	return ScoreAlarmFlows(det.Stats().Backend, flagged, truth, bins), nil
 }

@@ -1,0 +1,158 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"netanomaly/internal/core"
+	"netanomaly/internal/mat"
+)
+
+// scriptedDetector is a minimal core.ViewDetector whose alarm behavior
+// is a function of the absolute sequence number — just enough contract
+// for the EvaluateStreaming edge cases.
+type scriptedDetector struct {
+	links     int
+	processed int
+	alarmAt   func(seq int) (core.Diagnosis, bool)
+	deferred  error
+}
+
+func (s *scriptedDetector) Seed(*mat.Dense) error { return nil }
+
+func (s *scriptedDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
+	bins, _ := y.Dims()
+	var alarms []core.Alarm
+	for b := 0; b < bins; b++ {
+		seq := s.processed + b
+		if diag, ok := s.alarmAt(seq); ok {
+			diag.Bin = seq
+			alarms = append(alarms, core.Alarm{Seq: seq, Diagnosis: diag})
+		}
+	}
+	s.processed += bins
+	return alarms, nil
+}
+
+func (s *scriptedDetector) Refit() error { return nil }
+func (s *scriptedDetector) WaitRefits()  {}
+func (s *scriptedDetector) TakeRefitError() error {
+	err := s.deferred
+	s.deferred = nil
+	return err
+}
+func (s *scriptedDetector) Stats() core.ViewStats {
+	return core.ViewStats{Backend: "scripted", Links: s.links, Processed: s.processed}
+}
+
+func never(int) (core.Diagnosis, bool) { return core.Diagnosis{}, false }
+
+// TestEvaluateStreamingZeroAlarmStream pins the all-quiet case: a
+// detector that never alarms scores zero detections and zero false
+// alarms, with the denominators still accounted, on labeled and
+// unlabeled streams alike.
+func TestEvaluateStreamingZeroAlarmStream(t *testing.T) {
+	const bins, links = 100, 3
+	stream := mat.Zeros(bins, links)
+	det := &scriptedDetector{links: links, alarmAt: never}
+	r, err := EvaluateStreaming(det, stream, 7, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 0 || r.FalseAlarms != 0 || r.TrueAnomalies != 2 || r.NormalBins != 98 {
+		t.Fatalf("zero-alarm result %+v", r)
+	}
+	if r.DetectionRate() != 0 || r.FalseAlarmRate() != 0 || r.IdentificationRate() != 0 {
+		t.Fatalf("zero-alarm rates %+v", r)
+	}
+	// A zero-alarm stream with no labels at all: every denominator on
+	// the truth side is zero and the rates must stay defined.
+	r, err = EvaluateStreaming(det, stream, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TrueAnomalies != 0 || r.NormalBins != bins || r.DetectionRate() != 0 {
+		t.Fatalf("unlabeled result %+v", r)
+	}
+}
+
+// TestEvaluateStreamingAllAlarmStream pins the fire-hose case: a
+// detector alarming on every bin detects every truth and charges every
+// unlabeled bin as a false alarm — rates land exactly on 1.
+func TestEvaluateStreamingAllAlarmStream(t *testing.T) {
+	const bins, links = 64, 2
+	stream := mat.Zeros(bins, links)
+	always := func(int) (core.Diagnosis, bool) {
+		return core.Diagnosis{SPE: 1, Threshold: 0.5, Flow: -1}, true
+	}
+	det := &scriptedDetector{links: links, alarmAt: always}
+	r, err := EvaluateStreaming(det, stream, 10, []int{0, 31, 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 3 || r.TrueAnomalies != 3 || r.FalseAlarms != 61 || r.NormalBins != 61 {
+		t.Fatalf("all-alarm result %+v", r)
+	}
+	if r.DetectionRate() != 1 || r.FalseAlarmRate() != 1 {
+		t.Fatalf("all-alarm rates %+v", r)
+	}
+	// Flow-labeled truths against a backend that never attributes:
+	// every detection is an identification trial, none succeed.
+	det = &scriptedDetector{links: links, alarmAt: always}
+	r, err = EvaluateStreamingFlows(det, stream, 10, []LabeledBin{{Bin: 5, Flow: 17}, {Bin: 6, Flow: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 2 || r.IdentTrials != 1 || r.Identified != 0 {
+		t.Fatalf("flow-labeled result %+v", r)
+	}
+}
+
+// TestEvaluateStreamingFlowAttribution scores a detector that
+// attributes flows: correct attributions count, wrong ones are trials
+// without credit, and flowless truths never enter the trial count.
+func TestEvaluateStreamingFlowAttribution(t *testing.T) {
+	const bins, links = 50, 2
+	stream := mat.Zeros(bins, links)
+	flows := map[int]int{5: 17, 9: 3, 20: 8}
+	det := &scriptedDetector{links: links, alarmAt: func(seq int) (core.Diagnosis, bool) {
+		f, ok := flows[seq]
+		return core.Diagnosis{SPE: 1, Threshold: 0.5, Flow: f}, ok
+	}}
+	truth := []LabeledBin{
+		{Bin: 5, Flow: 17},  // detected, correctly identified
+		{Bin: 9, Flow: 4},   // detected, misidentified (alarm says 3)
+		{Bin: 20, Flow: -1}, // detected, no flow label: no trial
+		{Bin: 40, Flow: 9},  // missed: no trial
+	}
+	r, err := EvaluateStreamingFlows(det, stream, 16, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Detected != 3 || r.TrueAnomalies != 4 {
+		t.Fatalf("detection accounting %+v", r)
+	}
+	if r.IdentTrials != 2 || r.Identified != 1 {
+		t.Fatalf("identification accounting %+v", r)
+	}
+	if r.IdentificationRate() != 0.5 {
+		t.Fatalf("identification rate %v", r.IdentificationRate())
+	}
+	if !strings.Contains(r.String(), "identified 1/2") {
+		t.Fatalf("String() lacks identification column: %q", r.String())
+	}
+}
+
+// TestEvaluateStreamingSurfacesDeferredRefitError pins the final
+// WaitRefits/TakeRefitError sweep: a refit failure parked after the
+// last batch (which no later ProcessBatch would report) must fail the
+// evaluation rather than silently score.
+func TestEvaluateStreamingSurfacesDeferredRefitError(t *testing.T) {
+	const bins, links = 8, 2
+	det := &scriptedDetector{links: links, alarmAt: never, deferred: errors.New("stale-window")}
+	_, err := EvaluateStreaming(det, mat.Zeros(bins, links), 4, nil)
+	if err == nil || !strings.Contains(err.Error(), "stale-window") {
+		t.Fatalf("deferred refit error not surfaced: %v", err)
+	}
+}

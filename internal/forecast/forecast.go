@@ -196,9 +196,7 @@ type Detector struct {
 	processed   int
 	sinceRefit  int
 	refitEvery  int
-	refitting   bool
-	refitDone   *sync.Cond // on mu
-	refitErr    error
+	gate        *core.RefitGate
 	refits      int
 	refitHook   func()
 }
@@ -229,7 +227,7 @@ func NewDetector(history *mat.Dense, cfg Config) (*Detector, error) {
 		alphaCfg:   cfg.Alpha,
 		refitEvery: cfg.RefitEvery,
 	}
-	d.refitDone = sync.NewCond(&d.mu)
+	d.gate = core.NewRefitGate(&d.mu)
 	capacity := cfg.Window
 	if capacity <= 0 {
 		capacity = t
@@ -616,14 +614,12 @@ func (d *Detector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 		}
 		d.clock++
 	}
-	err := d.refitErr
-	d.refitErr = nil
+	err := d.gate.TakeErrorLocked()
 	var snap *refitSnapshot
 	if d.refitEvery > 0 {
 		d.sinceRefit += bins
-		if d.sinceRefit >= d.refitEvery && !d.refitting {
+		if d.sinceRefit >= d.refitEvery && d.gate.TryBeginLocked() {
 			d.sinceRefit = 0
-			d.refitting = true
 			snap = d.snapshotLocked()
 		}
 	}
@@ -711,7 +707,7 @@ func (d *Detector) installRefit(st *seedState) {
 }
 
 // spawnRefit runs the refit on the snapshot in a background goroutine.
-// The caller has already set d.refitting; the goroutine releases it
+// The caller has already claimed the gate; the goroutine releases it
 // after the install decision so fits never interleave.
 func (d *Detector) spawnRefit(snap *refitSnapshot) {
 	go func() {
@@ -719,15 +715,15 @@ func (d *Detector) spawnRefit(snap *refitSnapshot) {
 			h()
 		}
 		st, err := d.refitState(snap)
-		d.mu.Lock()
-		d.refitting = false
 		if err != nil {
-			d.refitErr = fmt.Errorf("forecast: %s refit: %w", d.kind, err)
-		} else {
+			err = fmt.Errorf("forecast: %s refit: %w", d.kind, err)
+		}
+		d.mu.Lock()
+		if err == nil {
 			d.installRefit(st)
 			d.refits++
 		}
-		d.refitDone.Broadcast()
+		d.gate.EndLocked(err)
 		d.mu.Unlock()
 	}()
 }
@@ -739,10 +735,7 @@ func (d *Detector) spawnRefit(snap *refitSnapshot) {
 // force.
 func (d *Detector) Refit() error {
 	d.mu.Lock()
-	for d.refitting {
-		d.refitDone.Wait()
-	}
-	d.refitting = true
+	d.gate.BeginLocked()
 	snap := d.snapshotLocked()
 	d.mu.Unlock()
 
@@ -752,12 +745,11 @@ func (d *Detector) Refit() error {
 	}
 
 	d.mu.Lock()
-	d.refitting = false
 	if err == nil {
 		d.installRefit(st)
 		d.refits++
 	}
-	d.refitDone.Broadcast()
+	d.gate.EndLocked(nil)
 	d.mu.Unlock()
 	return err
 }
@@ -774,10 +766,7 @@ func (d *Detector) Seed(history *mat.Dense) error {
 		return fmt.Errorf("forecast: seed history has %d links, detector expects %d", links, d.links)
 	}
 	d.mu.Lock()
-	for d.refitting {
-		d.refitDone.Wait()
-	}
-	d.refitting = true
+	d.gate.BeginLocked()
 	start := d.clock - t
 	capacity := d.window.Cap()
 	d.mu.Unlock()
@@ -791,35 +780,22 @@ func (d *Detector) Seed(history *mat.Dense) error {
 	}
 
 	d.mu.Lock()
-	d.refitting = false
 	if err == nil {
 		d.install(st)
 		d.sinceRefit = 0
 		d.refits++
 	}
-	d.refitDone.Broadcast()
+	d.gate.EndLocked(nil)
 	d.mu.Unlock()
 	return err
 }
 
 // WaitRefits blocks until no fit is in flight.
-func (d *Detector) WaitRefits() {
-	d.mu.Lock()
-	for d.refitting {
-		d.refitDone.Wait()
-	}
-	d.mu.Unlock()
-}
+func (d *Detector) WaitRefits() { d.gate.Wait() }
 
 // TakeRefitError returns and clears the deferred error from the last
 // failed background refit, if any.
-func (d *Detector) TakeRefitError() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	err := d.refitErr
-	d.refitErr = nil
-	return err
-}
+func (d *Detector) TakeRefitError() error { return d.gate.TakeError() }
 
 // Stats reports the detector's current state. Rank is 0: forecast
 // backends model links independently and have no subspace dimension.

@@ -56,9 +56,7 @@ type StreamDetector struct {
 	processed  int
 	sinceRefit int
 	refitEvery int
-	refitting  bool
-	refitDone  *sync.Cond // on mu
-	refitErr   error
+	gate       *core.RefitGate
 	refits     int
 	refitHook  func()
 }
@@ -95,7 +93,7 @@ func NewStreamDetector(history *mat.Dense, cfg StreamConfig) (*StreamDetector, e
 		pending:    make([]float64, span*links),
 		refitEvery: cfg.RefitEvery,
 	}
-	s.refitDone = sync.NewCond(&s.mu)
+	s.gate = core.NewRefitGate(&s.mu)
 	if err := s.Seed(history); err != nil {
 		return nil, err
 	}
@@ -126,10 +124,7 @@ func (s *StreamDetector) Seed(history *mat.Dense) error {
 	fit := mat.NewDense(aligned, links, history.RawData()[start*links:])
 
 	s.mu.Lock()
-	for s.refitting {
-		s.refitDone.Wait()
-	}
-	s.refitting = true
+	s.gate.BeginLocked()
 	s.mu.Unlock()
 
 	md, err := NewMultiscaleDetector(fit, s.levels, s.confidence)
@@ -140,7 +135,6 @@ func (s *StreamDetector) Seed(history *mat.Dense) error {
 	}
 
 	s.mu.Lock()
-	s.refitting = false
 	if err == nil {
 		s.window.Reset()
 		for b := aligned - min(aligned, s.window.Cap()); b < aligned; b++ {
@@ -151,7 +145,7 @@ func (s *StreamDetector) Seed(history *mat.Dense) error {
 		// fitted on this window, matching the other backends' Seed.
 		s.sinceRefit = 0
 	}
-	s.refitDone.Broadcast()
+	s.gate.EndLocked(nil)
 	s.mu.Unlock()
 	return err
 }
@@ -178,8 +172,7 @@ func (s *StreamDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 		rows  *mat.Dense
 	}
 	s.mu.Lock()
-	err := s.refitErr
-	s.refitErr = nil
+	err := s.gate.TakeErrorLocked()
 	base := s.processed
 	var blocks []block
 	for b := 0; b < bins; b++ {
@@ -248,9 +241,8 @@ func (s *StreamDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 		// Accumulate every bin, but only launch at a block boundary so
 		// a refit always follows fresh window rows.
 		s.sinceRefit += bins
-		if s.sinceRefit >= s.refitEvery && len(blocks) > 0 && !s.refitting {
+		if s.sinceRefit >= s.refitEvery && len(blocks) > 0 && s.gate.TryBeginLocked() {
 			s.sinceRefit = 0
-			s.refitting = true
 			snapshot = s.window.Matrix()
 		}
 	}
@@ -270,15 +262,14 @@ func (s *StreamDetector) spawnRefit(w *mat.Dense) {
 		md, err := NewMultiscaleDetector(w, s.levels, s.confidence)
 		if err == nil {
 			s.det.Store(md)
+		} else {
+			err = fmt.Errorf("wavelet: refit: %w", err)
 		}
 		s.mu.Lock()
-		s.refitting = false
-		if err != nil {
-			s.refitErr = fmt.Errorf("wavelet: refit: %w", err)
-		} else {
+		if err == nil {
 			s.refits++
 		}
-		s.refitDone.Broadcast()
+		s.gate.EndLocked(err)
 		s.mu.Unlock()
 	}()
 }
@@ -289,10 +280,7 @@ func (s *StreamDetector) spawnRefit(w *mat.Dense) {
 // force.
 func (s *StreamDetector) Refit() error {
 	s.mu.Lock()
-	for s.refitting {
-		s.refitDone.Wait()
-	}
-	s.refitting = true
+	s.gate.BeginLocked()
 	w := s.window.Matrix()
 	s.mu.Unlock()
 
@@ -307,33 +295,20 @@ func (s *StreamDetector) Refit() error {
 	}
 
 	s.mu.Lock()
-	s.refitting = false
 	if err == nil {
 		s.refits++
 	}
-	s.refitDone.Broadcast()
+	s.gate.EndLocked(nil)
 	s.mu.Unlock()
 	return err
 }
 
 // WaitRefits blocks until no model fit is in flight.
-func (s *StreamDetector) WaitRefits() {
-	s.mu.Lock()
-	for s.refitting {
-		s.refitDone.Wait()
-	}
-	s.mu.Unlock()
-}
+func (s *StreamDetector) WaitRefits() { s.gate.Wait() }
 
 // TakeRefitError returns and clears the deferred error from the last
 // failed background refit, if any.
-func (s *StreamDetector) TakeRefitError() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	err := s.refitErr
-	s.refitErr = nil
-	return err
-}
+func (s *StreamDetector) TakeRefitError() error { return s.gate.TakeError() }
 
 // Stats reports the detector's current state. Rank is 0: each scale
 // keeps its own normal subspace, so no single rank is meaningful.

@@ -200,18 +200,29 @@ const (
 	// against adaptive per-link thresholds (Section 6.2's temporal
 	// model, streaming).
 	DetectorFourier DetectorKind = "fourier"
+	// DetectorHybrid pairs an always-on forecast triage stage
+	// (WithTriageKind, default ewma) with a subspace identification
+	// stage: every bin pays only the cheap per-link recursion, and bins
+	// the triage stage alarms are escalated (WithEscalation) to a
+	// subspace model that attributes the responsible OD flow — the
+	// paper's "temporal methods localize in time+link, the subspace
+	// method identifies the flow" trade collapsed into one view. See
+	// docs/BACKENDS.md for the full selection guide.
+	DetectorHybrid DetectorKind = "hybrid"
 )
 
 type viewConfig struct {
-	kind     DetectorKind
-	lambda   float64
-	driftTol float64
-	levels   int
-	quorum   int
-	metrics  []string
-	alpha    float64
-	beta     float64
-	k        float64
+	kind       DetectorKind
+	lambda     float64
+	driftTol   float64
+	levels     int
+	quorum     int
+	metrics    []string
+	alpha      float64
+	beta       float64
+	k          float64
+	triage     DetectorKind
+	escalation string
 }
 
 // ViewOption customizes the backend AddView builds.
@@ -224,8 +235,9 @@ func WithDetector(kind DetectorKind) ViewOption {
 
 // WithDetectorKind selects the backend kind by its string name
 // ("subspace", "incremental", "multiscale", "multiflow", "ewma",
-// "holtwinters", "fourier") — a convenience for callers plumbing the
-// kind from flags or config files; unknown names fail in AddView.
+// "holtwinters", "fourier", "hybrid") — a convenience for callers
+// plumbing the kind from flags or config files; unknown names fail in
+// AddView.
 func WithDetectorKind(kind string) ViewOption {
 	return WithDetector(DetectorKind(kind))
 }
@@ -249,6 +261,28 @@ func WithBeta(beta float64) ViewOption {
 // adaptively tracked residuals (default 6).
 func WithThresholdK(k float64) ViewOption {
 	return func(vc *viewConfig) { vc.k = k }
+}
+
+// WithTriageKind selects the hybrid backend's triage stage: one of the
+// forecast kinds (DetectorEWMA, the default, DetectorHoltWinters or
+// DetectorFourier). The forecast options (WithAlpha, WithBeta,
+// WithThresholdK) configure it.
+func WithTriageKind(kind DetectorKind) ViewOption {
+	return func(vc *viewConfig) { vc.triage = kind }
+}
+
+// WithEscalation sets the hybrid backend's escalation policy — which
+// triage-alarmed bins pay for subspace flow identification:
+//
+//	"immediate"   every triage alarm escalates (default)
+//	"confirm:<n>" only after n consecutive alarmed bins; unconfirmed
+//	              blips still alarm, without flow attribution
+//	"always"      every bin escalates, alarmed or not — subspace-grade
+//	              detection at subspace cost, for measuring triage miss
+//
+// Unknown policies fail in AddView.
+func WithEscalation(policy string) ViewOption {
+	return func(vc *viewConfig) { vc.escalation = policy }
 }
 
 // WithLambda sets the incremental backend's forgetting factor in
@@ -286,11 +320,12 @@ func WithMetrics(names ...string) ViewOption {
 // AddView registers a detector shard on the monitor for a topology's
 // measurement stream, with the backend selected by options. history
 // seeds the model: bins x links for the subspace, incremental,
-// multiscale and forecast (ewma / holtwinters / fourier) kinds,
-// bins x (metrics x links) column-stacked for multiflow. The monitor's
-// Window, RefitEvery and Options configure every kind uniformly (the
-// forecast kinds take their thresholds from WithThresholdK rather than
-// Options.Confidence).
+// multiscale, forecast (ewma / holtwinters / fourier) and hybrid
+// kinds, bins x (metrics x links) column-stacked for multiflow. The
+// monitor's Window, RefitEvery and Options configure every kind
+// uniformly (the forecast kinds take their thresholds from
+// WithThresholdK rather than Options.Confidence). See docs/BACKENDS.md
+// for the backend selection guide.
 func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...ViewOption) error {
 	vc := viewConfig{kind: DetectorSubspace, lambda: 1, levels: 3, quorum: 1}
 	for _, o := range opts {
@@ -353,6 +388,8 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 			Window:     window,
 			RefitEvery: cfg.RefitEvery,
 		})
+	case DetectorHybrid:
+		det, err = buildHybrid(vc, history, routing, window, cfg)
 	default:
 		return fmt.Errorf("netanomaly: view %q: unknown detector kind %q", name, vc.kind)
 	}
@@ -360,6 +397,63 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 		return fmt.Errorf("netanomaly: view %q: %w", name, err)
 	}
 	return m.AddDetectorView(name, det)
+}
+
+// HybridDetector is the triage→identification backend behind
+// DetectorHybrid; retrieve it with Monitor.Detector and a type
+// assertion to read its two-stage HybridStats.
+type HybridDetector = core.HybridDetector
+
+// HybridStats is a hybrid view's two-stage breakdown: per-stage
+// detector snapshots plus the escalation counters (triage alarms,
+// escalated bins, identified bins, suppressed blips).
+type HybridStats = core.HybridStats
+
+// buildHybrid assembles the triage→identification backend: a forecast
+// detector as the always-on triage stage and a windowed subspace
+// detector as the identification stage, composed under the escalation
+// policy. The subspace stage's automatic refits are disabled — the
+// hybrid re-seeds it from its clean-bin window on the monitor's refit
+// cadence instead, so the model stays fresh without a per-bin subspace
+// pass.
+func buildHybrid(vc viewConfig, history *Matrix, routing *Matrix, window int, cfg MonitorConfig) (ViewDetector, error) {
+	tkind := vc.triage
+	if tkind == "" {
+		tkind = DetectorEWMA
+	}
+	switch tkind {
+	case DetectorEWMA, DetectorHoltWinters, DetectorFourier:
+	default:
+		return nil, fmt.Errorf("triage stage must be a forecast kind, got %q", tkind)
+	}
+	policy, confirm, err := core.ParseEscalation(vc.escalation)
+	if err != nil {
+		return nil, err
+	}
+	triage, err := forecast.NewDetector(history, forecast.Config{
+		Kind:       forecast.Kind(tkind),
+		Alpha:      vc.alpha,
+		Beta:       vc.beta,
+		K:          vc.k,
+		Window:     window,
+		RefitEvery: cfg.RefitEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("triage stage: %w", err)
+	}
+	identify, err := core.NewOnlineDetector(history, routing, core.OnlineConfig{
+		Window:  window,
+		Options: cfg.Options,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("identification stage: %w", err)
+	}
+	return core.NewHybridDetector(triage, identify, history, core.HybridConfig{
+		Escalation: policy,
+		Confirm:    confirm,
+		Window:     window,
+		RefitEvery: cfg.RefitEvery,
+	})
 }
 
 // LinkMeasurement is one bin of link loads delivered by a streaming
