@@ -37,6 +37,19 @@
 //	    -detector ewma -k 6
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -detector hybrid -triage ewma -escalation immediate
+//
+// Under load the streaming engine can be bounded and elastic:
+// -max-pending caps the view's queue of unprocessed bins, -overload
+// picks the full-queue policy (block for backpressure, dropoldest to
+// prefer fresh data, error to shed load), and -autoscale min:max lets
+// the worker pool grow and shrink with the observed backlog. -burst n
+// ingests the stream in n-bin slams instead of the bin-by-bin replay —
+// a stress mode for demonstrating the overload policies. When any of
+// these are set, a closing "load:" line reports dropped/rejected bins
+// and the worker-pool high-water mark.
+//
+//	diagnose -topology abilene -links links.csv -stream -history 1008 \
+//	    -burst 4096 -max-pending 64 -overload dropoldest -autoscale 1:4
 package main
 
 import (
@@ -71,6 +84,10 @@ func main() {
 	thresholdK := flag.Float64("k", 0, "forecast backends: alarm at mean + k*sigma of tracked residuals (0 = 6)")
 	triage := flag.String("triage", "ewma", "hybrid: triage stage kind (ewma, holtwinters, fourier)")
 	escalation := flag.String("escalation", "immediate", "hybrid: escalation policy (immediate, confirm:<n>, always)")
+	maxPending := flag.Int("max-pending", 0, "streaming: bound on queued unprocessed bins (0 = unbounded)")
+	overload := flag.String("overload", "block", "streaming: full-queue policy — block, dropoldest, or error")
+	autoscale := flag.String("autoscale", "", "streaming: elastic worker pool as min:max (empty = fixed pool)")
+	burst := flag.Int("burst", 0, "streaming: ingest the stream in bursts of this many bins at once instead of replaying it bin by bin (stress mode; pair with -max-pending)")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
@@ -98,6 +115,21 @@ func main() {
 			thresholdK: *thresholdK,
 			triage:     netanomaly.DetectorKind(*triage),
 			escalation: *escalation,
+			maxPending: *maxPending,
+			burst:      *burst,
+		}
+		policy, err := netanomaly.ParseOverloadPolicy(*overload)
+		if err != nil {
+			fatal(err)
+		}
+		sc.overload = policy
+		if *autoscale != "" {
+			min, max, err := parseAutoscale(*autoscale)
+			if err != nil {
+				fatal(err)
+			}
+			sc.autoscaleMin, sc.autoscaleMax = min, max
+			sc.autoscale = true
 		}
 		runStream(topo, links, sc, opts)
 		return
@@ -125,20 +157,46 @@ func main() {
 }
 
 type streamConfig struct {
-	history    int
-	batch      int
-	refitEvery int
-	kind       netanomaly.DetectorKind
-	lambda     float64
-	driftTol   float64
-	levels     int
-	metrics    []string
-	quorum     int
-	alpha      float64
-	beta       float64
-	thresholdK float64
-	triage     netanomaly.DetectorKind
-	escalation string
+	history                    int
+	batch                      int
+	refitEvery                 int
+	kind                       netanomaly.DetectorKind
+	lambda                     float64
+	driftTol                   float64
+	levels                     int
+	metrics                    []string
+	quorum                     int
+	alpha                      float64
+	beta                       float64
+	thresholdK                 float64
+	triage                     netanomaly.DetectorKind
+	escalation                 string
+	maxPending                 int
+	overload                   netanomaly.OverloadPolicy
+	autoscale                  bool
+	autoscaleMin, autoscaleMax int
+	burst                      int
+}
+
+// parseAutoscale splits a min:max worker-bound pair.
+func parseAutoscale(s string) (min, max int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("autoscale: want min:max, got %q", s)
+	}
+	if min, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("autoscale min: %w", err)
+	}
+	if max, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("autoscale max: %w", err)
+	}
+	// Reject rather than silently clamp: an inverted or nonpositive
+	// bound is a typo, and running with a pool the operator did not ask
+	// for hides it.
+	if min <= 0 || max < min {
+		return 0, 0, fmt.Errorf("autoscale: want 0 < min <= max, got %d:%d", min, max)
+	}
+	return min, max, nil
 }
 
 // runStream seeds a Monitor shard on the first history rows and replays
@@ -177,6 +235,13 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	// keeps the count exact and the output lines unscrambled.
 	var alarmMu sync.Mutex
 	alarms := 0
+	monOpts := []netanomaly.MonitorOption{
+		netanomaly.WithMaxPending(sc.maxPending),
+		netanomaly.WithOverloadPolicy(sc.overload),
+	}
+	if sc.autoscale {
+		monOpts = append(monOpts, netanomaly.WithAutoscale(sc.autoscaleMin, sc.autoscaleMax))
+	}
 	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
 		BatchSize:  sc.batch,
 		RefitEvery: sc.refitEvery,
@@ -185,10 +250,13 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 			alarmMu.Lock()
 			defer alarmMu.Unlock()
 			alarms++
-			// Seq counts from the first streamed bin; print absolute bins.
+			// Seq counts from the first streamed bin; print absolute
+			// bins. (Bins dropped by the overload policy are never
+			// assigned a Seq, so after drops the printed bin of a later
+			// alarm undercounts its true stream position.)
 			printAlarm(topo, sc.history+a.Seq, a.Diagnosis)
 		},
-	})
+	}, monOpts...)
 	const view = "stream"
 	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
 		fatal(err)
@@ -214,12 +282,31 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		stats.Backend, sc.history, stats.Links, rankNote, bins-sc.history, sc.batch)
 	printHeader()
 	rest := netanomaly.NewMatrix(bins-sc.history, m, links.RawData()[sc.history*m:])
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
 	failed := false
-	if err := mon.IngestStream(view, netanomaly.StreamMatrix(ctx, rest, 0)); err != nil {
-		fmt.Fprintln(os.Stderr, "diagnose:", err)
-		failed = true
+	if sc.burst > 0 {
+		// Stress mode: slam the queue with whole bursts instead of the
+		// paced bin-at-a-time replay, so the overload policy actually
+		// engages. The burst is enqueued front to back, so with
+		// -overload dropoldest the freshest bins always survive.
+		streamed := rest.Rows()
+		for r0 := 0; r0 < streamed && !failed; r0 += sc.burst {
+			r1 := r0 + sc.burst
+			if r1 > streamed {
+				r1 = streamed
+			}
+			chunk := netanomaly.NewMatrix(r1-r0, m, rest.RawData()[r0*m:r1*m])
+			if err := mon.Ingest(view, chunk); err != nil {
+				fmt.Fprintln(os.Stderr, "diagnose:", err)
+				failed = true
+			}
+		}
+	} else {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if err := mon.IngestStream(view, netanomaly.StreamMatrix(ctx, rest, 0)); err != nil {
+			fmt.Fprintln(os.Stderr, "diagnose:", err)
+			failed = true
+		}
 	}
 	mon.Close()
 	for _, err := range mon.Errs() {
@@ -227,6 +314,10 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		failed = true
 	}
 	fmt.Printf("%d alarms over %d streamed bins\n", alarms, bins-sc.history)
+	if st := mon.Stats(); sc.maxPending > 0 || sc.autoscale {
+		fmt.Printf("load: dropped %d bins (%d batches), rejected %d, workers peak %d\n",
+			st.DroppedBins, st.DroppedBatches, st.RejectedBins, st.WorkersHighWater)
+	}
 	if hd, ok := det.(*netanomaly.HybridDetector); ok {
 		hs := hd.HybridStats()
 		fmt.Printf("hybrid: %s triage flagged %d bins, %d escalated to subspace, %d identified, %d suppressed\n",

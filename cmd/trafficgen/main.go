@@ -114,8 +114,11 @@ func main() {
 	if err := netanomaly.SaveMatrixCSV(*linksPath, links, linkNames); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %d x %d link matrix%s to %s (%s: %d PoPs, %d links, %d flows)\n",
-		*bins, topo.NumLinks(), metricNote, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows())
+	// The seed is echoed so a logged run can be regenerated bin for bin:
+	// generation is deterministic in -seed (pinned by
+	// internal/traffic's reproducibility tests).
+	fmt.Printf("wrote %d x %d link matrix%s to %s (%s: %d PoPs, %d links, %d flows; seed %d)\n",
+		*bins, topo.NumLinks(), metricNote, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows(), *seed)
 	for _, a := range anomalies {
 		fmt.Printf("injected %.3g bytes into flow %s at bin %d\n", a.Delta, topo.FlowName(a.Flow), a.Bin)
 	}

@@ -4,8 +4,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // WriteMatrixCSV writes a matrix as CSV: an optional header row of column
@@ -41,6 +43,14 @@ func WriteMatrixCSV(w io.Writer, m *Matrix, header []string) error {
 // link IDs followed by names ("0","linkA",...) is still recognized. A
 // header whose every cell is numeric is indistinguishable from data and
 // is read as the first row.
+//
+// Cells are trimmed of surrounding whitespace before parsing (so
+// "1, 2" reads as data, not as a one-row header), a UTF-8 byte-order
+// mark on the first cell is ignored, and non-finite values (NaN,
+// ±Inf) are rejected: every downstream consumer — model fits,
+// forecasters, thresholds — assumes finite measurements, and a NaN that
+// slips in here would poison a fit silently instead of failing loudly
+// at the boundary.
 func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 	cr := csv.NewReader(r)
 	recs, err := cr.ReadAll()
@@ -50,6 +60,7 @@ func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 	if len(recs) == 0 {
 		return nil, nil, fmt.Errorf("netanomaly: empty CSV")
 	}
+	recs[0][0] = strings.TrimPrefix(recs[0][0], "\ufeff")
 	var header []string
 	if !allNumeric(recs[0]) {
 		header = recs[0]
@@ -65,9 +76,12 @@ func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 			return nil, header, fmt.Errorf("netanomaly: row %d has %d fields, want %d", i, len(rec), cols)
 		}
 		for j, s := range rec {
-			v, err := strconv.ParseFloat(s, 64)
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 			if err != nil {
 				return nil, header, fmt.Errorf("netanomaly: row %d col %d: %w", i, j, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, header, fmt.Errorf("netanomaly: row %d col %d: non-finite value %q", i, j, s)
 			}
 			m.Set(i, j, v)
 		}
@@ -76,10 +90,13 @@ func ReadMatrixCSV(r io.Reader) (*Matrix, []string, error) {
 }
 
 // allNumeric reports whether every cell of the record parses as a
-// float64.
+// float64 after whitespace trimming. Non-finite spellings ("NaN",
+// "Inf") count as numeric here — they look like data, and the value
+// check in ReadMatrixCSV rejects them with a precise row/col error
+// rather than silently demoting the row to a header.
 func allNumeric(rec []string) bool {
 	for _, s := range rec {
-		if _, err := strconv.ParseFloat(s, 64); err != nil {
+		if _, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err != nil {
 			return false
 		}
 	}

@@ -45,7 +45,7 @@
 // Monitor (internal/engine, surfaced as NewMonitor/AddView) is the
 // scale-out layer: one detector shard per registered traffic view
 // (topology, vantage point, customer network), measurement batches
-// fanned across a fixed worker pool. Batches within a view are processed
+// fanned across a worker pool. Batches within a view are processed
 // strictly in ingest order — sequence numbers match arrival — while
 // different views run concurrently; a refit in one view never stalls
 // ingestion in any view. Use Monitor when tracking several topologies or
@@ -53,6 +53,16 @@
 // for a simple bin-by-bin loop. IngestStream consumes a live measurement
 // channel (StreamMatrix, or any collector producing LinkMeasurement)
 // and keeps the batched hot path hot for bin-at-a-time sources.
+//
+// The engine is load-safe: WithMaxPending bounds each view's queue,
+// WithOverloadPolicy picks what a full queue does (OverloadBlock
+// backpressure through IngestStream to the collector, OverloadDropOldest
+// freshness under DoS-style surges, OverloadError shedding), and
+// WithAutoscale lets the worker pool grow and shrink with the observed
+// backlog while per-view ordering is preserved across every resize.
+// Monitor.Stats and Monitor.QueueStats report queue depth, drops and
+// the pool's high-water mark; see the "Operating under load" section of
+// docs/BACKENDS.md for policy selection and sizing guidance.
 //
 //	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
 //	    RefitEvery: 1008,

@@ -178,3 +178,32 @@ func ExampleMonitor_IngestStream() {
 	}
 	// Output: alarm at streamed bin 30
 }
+
+// ExampleNewMonitor_loadSafe configures the engine for sustained
+// overload: bounded per-view queues with a selectable full-queue policy
+// and a worker pool that scales itself between one and four workers
+// from the observed backlog. With OverloadBlock the producer is paced
+// to the service rate and nothing is lost; swap in OverloadDropOldest
+// to prefer fresh bins instead. Monitor.Stats reports queue depth,
+// drops and the pool's high-water mark.
+func ExampleNewMonitor_loadSafe() {
+	topo, history, stream, _ := exampleData(7)
+
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{BatchSize: 32},
+		netanomaly.WithMaxPending(128),
+		netanomaly.WithOverloadPolicy(netanomaly.OverloadBlock),
+		netanomaly.WithAutoscale(1, 4),
+	)
+	defer mon.Close()
+	if err := netanomaly.AddTopologyView(mon, "backbone", history, topo); err != nil {
+		log.Fatal(err)
+	}
+	if err := mon.Ingest("backbone", stream); err != nil {
+		log.Fatal(err)
+	}
+	mon.Flush()
+	st := mon.Stats()
+	fmt.Printf("dropped %d bins, pool stayed within bounds: %v\n",
+		st.DroppedBins, st.WorkersHighWater >= 1 && st.WorkersHighWater <= 4)
+	// Output: dropped 0 bins, pool stayed within bounds: true
+}

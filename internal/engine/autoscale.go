@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"math"
+	"time"
+)
+
+// autoscaleLoop evaluates the pool on the configured cadence until
+// Close stops it. All mutable autoscaler state (the EW-smoothed backlog
+// and latency, the calm-tick counter) is confined to this goroutine;
+// pool resizes go through dispatchMu.
+func (m *Monitor) autoscaleLoop() {
+	defer close(m.autoscaleDone)
+	t := time.NewTicker(m.cfg.Autoscale.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.autoscaleStop:
+			return
+		case <-t.C:
+			m.autoscaleTick()
+		}
+	}
+}
+
+// autoscaleTick runs one evaluation: fold the batch-latency window and
+// the instantaneous queue depth into the EW-smoothed estimates, then
+// resize the pool.
+//
+// Scale-up is eager and proportional: whenever the smoothed backlog
+// exceeds ScaleUpBacklog batches per worker — or draining it at the
+// smoothed batch latency would take the current pool longer than one
+// evaluation interval — the pool jumps to the size that restores the
+// per-worker target, capped at MaxWorkers. A surge is exactly when
+// waiting is most expensive, so growth is not rationed.
+//
+// Scale-down is deliberate: only after ScaleDownAfter consecutive calm
+// evaluations (smoothed backlog under ScaleDownBacklog per worker) does
+// the pool shrink, and then by a single worker — hysteresis, so the
+// lull between two bursts does not tear down capacity the next burst
+// needs a few milliseconds later.
+func (m *Monitor) autoscaleTick() {
+	ac := m.cfg.Autoscale
+
+	m.latMu.Lock()
+	latSum, latN := m.latSum, m.latN
+	m.latSum, m.latN = 0, 0
+	m.latMu.Unlock()
+	if latN > 0 {
+		avg := float64(latSum) / float64(latN)
+		if m.ewLatency == 0 {
+			m.ewLatency = avg
+		} else {
+			m.ewLatency = ac.Smoothing*avg + (1-ac.Smoothing)*m.ewLatency
+		}
+	}
+
+	queued := 0
+	for _, s := range m.snapshotShards() {
+		s.qmu.Lock()
+		queued += len(s.queue)
+		s.qmu.Unlock()
+	}
+	m.ewBacklog = ac.Smoothing*float64(queued) + (1-ac.Smoothing)*m.ewBacklog
+
+	m.dispatchMu.Lock()
+	defer m.dispatchMu.Unlock()
+	w := m.targetWorkers
+	drainNs := m.ewBacklog * m.ewLatency / float64(w)
+	overloaded := m.ewBacklog > ac.ScaleUpBacklog*float64(w) ||
+		drainNs > float64(ac.Interval.Nanoseconds())
+	switch {
+	case overloaded && w < ac.MaxWorkers:
+		m.calmTicks = 0
+		want := int(math.Ceil(m.ewBacklog / ac.ScaleUpBacklog))
+		if want <= w {
+			want = w + 1
+		}
+		if want > ac.MaxWorkers {
+			want = ac.MaxWorkers
+		}
+		m.resizePoolLocked(want)
+	case !overloaded && w > ac.MinWorkers && m.ewBacklog < ac.ScaleDownBacklog*float64(w):
+		m.calmTicks++
+		if m.calmTicks >= ac.ScaleDownAfter {
+			m.calmTicks = 0
+			m.resizePoolLocked(w - 1)
+		}
+	default:
+		m.calmTicks = 0
+	}
+}

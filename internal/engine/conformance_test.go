@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"math"
 	"runtime"
 	"strings"
@@ -250,6 +251,138 @@ func TestMonitorMixedBackends(t *testing.T) {
 		if !spiked {
 			t.Fatalf("view %q missed the spike; alarms: %+v", f.name, byView[f.name])
 		}
+	}
+}
+
+// gatedDetector wraps a real backend so a test controls exactly when
+// each batch is serviced: ProcessBatch consumes one token from gate
+// (close the channel to open the floodgates). Stats, refits and errors
+// pass straight through to the wrapped detector.
+type gatedDetector struct {
+	core.ViewDetector
+	gate chan struct{}
+}
+
+func (g *gatedDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
+	<-g.gate
+	return g.ViewDetector.ProcessBatch(y)
+}
+
+// TestConformanceOverloadPolicies runs every backend once per overload
+// policy on a bounded queue with the worker held on a token gate, so
+// overload is certain and scripted, then requires the engine's queue
+// accounting to reconcile exactly with the bins the backend actually
+// processed: enqueued - dropped == ViewStats.Processed, rejected bins
+// were never enqueued, and the bound was never exceeded.
+func TestConformanceOverloadPolicies(t *testing.T) {
+	const (
+		batchSize  = 16
+		maxPending = 32
+	)
+	for pi, policy := range []OverloadPolicy{OverloadBlock, OverloadDropOldest, OverloadError} {
+		policy := policy
+		fixtures := conformanceFixtures(t, int64(130+pi))
+		t.Run(policy.String(), func(t *testing.T) {
+			for _, f := range fixtures {
+				f := f
+				t.Run(f.name, func(t *testing.T) {
+					gate := make(chan struct{})
+					m := NewMonitor(Config{
+						Workers:    1,
+						BatchSize:  batchSize,
+						MaxPending: maxPending,
+						Overload:   policy,
+					})
+					defer m.Close()
+					if err := m.AddDetectorView(f.name, &gatedDetector{f.det, gate}); err != nil {
+						t.Fatal(err)
+					}
+					ingested := make(chan error, 1)
+					go func() { ingested <- m.Ingest(f.name, f.stream) }()
+					if policy == OverloadBlock {
+						// The producer must wedge against the bound
+						// before anything is released.
+						waitUntil(t, "queue to fill", func() bool {
+							return m.Stats().QueuedBins == maxPending
+						})
+					}
+					var ingestErr error
+					if policy == OverloadBlock {
+						close(gate)
+						ingestErr = <-ingested
+					} else {
+						ingestErr = <-ingested
+						if q := m.Stats().QueuedBins; q > maxPending {
+							t.Fatalf("queue grew to %d bins, bound is %d", q, maxPending)
+						}
+						close(gate)
+					}
+					m.Flush()
+
+					qs, err := m.QueueStats(f.name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					stats, err := m.ViewStats(f.name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if qs.QueuedBins != 0 {
+						t.Fatalf("queue not drained: %+v", qs)
+					}
+					if got := qs.EnqueuedBins - qs.DroppedBins; got != int64(stats.Processed) {
+						t.Fatalf("counters do not reconcile with backend: enqueued %d - dropped %d != processed %d",
+							qs.EnqueuedBins, qs.DroppedBins, stats.Processed)
+					}
+					if qs.EnqueuedBins+qs.RejectedBins != int64(f.stream.Rows()) {
+						t.Fatalf("accepted %d + rejected %d != streamed %d", qs.EnqueuedBins, qs.RejectedBins, f.stream.Rows())
+					}
+					switch policy {
+					case OverloadBlock:
+						if ingestErr != nil {
+							t.Fatal(ingestErr)
+						}
+						if qs.DroppedBins != 0 || qs.RejectedBins != 0 {
+							t.Fatalf("block policy lost bins: %+v", qs)
+						}
+						if stats.Processed != f.stream.Rows() {
+							t.Fatalf("processed %d want %d", stats.Processed, f.stream.Rows())
+						}
+						// Nothing was lost, so the spike alarm must be
+						// there just as in the unloaded conformance run.
+						spiked := false
+						for _, a := range m.TakeAlarms() {
+							if a.Seq >= f.spikeLo && a.Seq <= f.spikeHi {
+								spiked = true
+							}
+						}
+						if !spiked {
+							t.Fatalf("backpressured run missed the spike")
+						}
+					case OverloadDropOldest:
+						if ingestErr != nil {
+							t.Fatal(ingestErr)
+						}
+						if qs.DroppedBins == 0 {
+							t.Fatal("held worker and flooded queue dropped nothing")
+						}
+						if qs.EnqueuedBins != int64(f.stream.Rows()) {
+							t.Fatalf("dropoldest must accept everything: %+v", qs)
+						}
+					case OverloadError:
+						if !errors.Is(ingestErr, ErrOverloaded) {
+							t.Fatalf("expected ErrOverloaded, got %v", ingestErr)
+						}
+						if qs.RejectedBins == 0 || qs.DroppedBins != 0 {
+							t.Fatalf("error-policy accounting: %+v", qs)
+						}
+					}
+					if errs := m.Errs(); len(errs) != 0 {
+						t.Fatalf("unexpected errors: %v", errs)
+					}
+				})
+			}
+		})
 	}
 }
 

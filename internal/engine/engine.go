@@ -2,16 +2,25 @@
 // streaming detection service. A Monitor owns one detector shard per
 // traffic view (a topology, a vantage point, a customer network —
 // anything with its own routing matrix and measurement stream) and fans
-// measurement batches across a fixed worker pool. A shard holds any
+// measurement batches across a worker pool. A shard holds any
 // core.ViewDetector — the windowed subspace method, the incremental
-// covariance-tracking variant, the multiscale wavelet detector, or the
-// multi-metric voter — so heterogeneous backends run side by side in
-// one pool. Every backend is non-blocking by contract: detection inside
-// a shard runs against an atomically swapped model, so a model refit in
-// one view never stalls ingestion in any view. The batched hot path
-// tests a whole bins x links block in one matrix pass, which is what
-// makes the engine's per-bin cost a fraction of the serial per-vector
-// loop.
+// covariance-tracking variant, the multiscale wavelet detector, the
+// multi-metric voter, the forecast baselines, or the hybrid — so
+// heterogeneous backends run side by side in one pool. Every backend is
+// non-blocking by contract: detection inside a shard runs against an
+// atomically swapped model, so a model refit in one view never stalls
+// ingestion in any view. The batched hot path tests a whole bins x
+// links block in one matrix pass, which is what makes the engine's
+// per-bin cost a fraction of the serial per-vector loop.
+//
+// The engine is load-safe: per-view queues are bounded (Config.MaxPending)
+// with a selectable overload policy — block the producer, drop the
+// oldest queued batch, or fail the ingest — so a DoS-style burst on one
+// view cannot balloon memory while other shards idle. The worker pool
+// can autoscale between AutoscaleConfig.MinWorkers and MaxWorkers from
+// EW-smoothed queue depth and batch latency, with hysteresis on
+// scale-down; per-view FIFO survives every resize because a shard is
+// only ever owned by one worker at a time regardless of pool size.
 //
 // The Monitor is the scale-out layer the ROADMAP's "first-level online
 // monitor" needs; for a single stream with no fan-out requirements, a
@@ -23,21 +32,158 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"netanomaly/internal/core"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
 )
 
+// ErrOverloaded is returned (wrapped, with the view name) by Ingest and
+// IngestStream when a view's queue is full and the monitor runs the
+// OverloadError policy. Test for it with errors.Is.
+var ErrOverloaded = errors.New("view queue full")
+
+// OverloadPolicy selects what Ingest does with a new batch when a
+// view's queue already holds Config.MaxPending bins.
+type OverloadPolicy int
+
+const (
+	// OverloadBlock (the default) blocks the ingesting goroutine until
+	// workers drain enough queued bins — classic backpressure: a
+	// too-fast producer is slowed to the service rate, and nothing is
+	// lost. With IngestStream the blocking propagates to the
+	// measurement channel, and from there to the collector feeding it.
+	OverloadBlock OverloadPolicy = iota
+	// OverloadDropOldest evicts the oldest queued batches until the new
+	// one fits, preferring fresh data under sustained overload — the
+	// right policy for live monitoring, where a stale bin's alarm is
+	// worth less than keeping up with the present. Dropped bins are
+	// never processed: they raise no alarms and are not assigned
+	// sequence numbers (Seq counts processed bins, so after a drop the
+	// per-view Seq no longer equals the stream offset). Drops are
+	// counted in QueueStats.
+	OverloadDropOldest
+	// OverloadError rejects the batch: Ingest stops enqueueing and
+	// returns ErrOverloaded, leaving already-queued work untouched.
+	// Chunks of the batch admitted before the queue filled stay
+	// queued; the error reports how many bins were rejected. The
+	// caller decides whether to retry, shed, or fail.
+	OverloadError
+)
+
+// String returns the policy's flag-style name.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBlock:
+		return "block"
+	case OverloadDropOldest:
+		return "dropoldest"
+	case OverloadError:
+		return "error"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverloadPolicy maps a flag-style name ("block", "dropoldest",
+// "error") to its policy.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "block", "":
+		return OverloadBlock, nil
+	case "dropoldest", "drop-oldest":
+		return OverloadDropOldest, nil
+	case "error":
+		return OverloadError, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown overload policy %q (want block, dropoldest, or error)", s)
+	}
+}
+
+// AutoscaleConfig makes the worker pool elastic: the pool grows toward
+// MaxWorkers when the EW-smoothed backlog (queued batches) or the
+// estimated drain time (backlog x smoothed batch latency per worker)
+// says the current pool cannot keep up, and shrinks toward MinWorkers
+// only after ScaleDownAfter consecutive calm evaluations — hysteresis,
+// so a brief lull between bursts does not tear the pool down just to
+// rebuild it. Zero-valued fields take the documented defaults.
+type AutoscaleConfig struct {
+	// MinWorkers is the floor the pool never shrinks below (default 1).
+	MinWorkers int
+	// MaxWorkers is the ceiling the pool never grows above (default
+	// GOMAXPROCS).
+	MaxWorkers int
+	// Interval is the evaluation cadence (default 50ms). It doubles as
+	// the drain-time target: the pool grows while clearing the smoothed
+	// backlog at the observed batch latency would take longer than one
+	// interval.
+	Interval time.Duration
+	// ScaleUpBacklog is the smoothed queued-batch count per worker above
+	// which the pool grows (default 1.5).
+	ScaleUpBacklog float64
+	// ScaleDownBacklog is the smoothed queued-batch count per worker
+	// below which an evaluation counts as calm (default 0.25).
+	ScaleDownBacklog float64
+	// ScaleDownAfter is how many consecutive calm evaluations precede a
+	// one-worker shrink (default 5).
+	ScaleDownAfter int
+	// Smoothing is the EW factor applied to backlog and latency samples
+	// in (0, 1]; larger reacts faster (default 0.5).
+	Smoothing float64
+}
+
+func (a *AutoscaleConfig) fillDefaults() {
+	if a.MinWorkers <= 0 {
+		a.MinWorkers = 1
+	}
+	if a.MaxWorkers <= 0 {
+		a.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if a.MaxWorkers < a.MinWorkers {
+		a.MaxWorkers = a.MinWorkers
+	}
+	if a.Interval <= 0 {
+		a.Interval = 50 * time.Millisecond
+	}
+	if a.ScaleUpBacklog <= 0 {
+		a.ScaleUpBacklog = 1.5
+	}
+	if a.ScaleDownBacklog <= 0 {
+		a.ScaleDownBacklog = 0.25
+	}
+	if a.ScaleDownAfter <= 0 {
+		a.ScaleDownAfter = 5
+	}
+	if a.Smoothing <= 0 || a.Smoothing > 1 {
+		a.Smoothing = 0.5
+	}
+}
+
 // Config parameterizes a Monitor. The zero value is usable: defaults are
 // filled in by NewMonitor.
 type Config struct {
 	// Workers is the size of the processing pool; default GOMAXPROCS.
+	// With Autoscale set it is the initial size, clamped into
+	// [MinWorkers, MaxWorkers] (default MinWorkers).
 	Workers int
 	// BatchSize is the number of bins per dispatched job: Ingest splits
 	// larger batches into BatchSize chunks so one bulky view cannot
 	// monopolize the pool. Default 64.
 	BatchSize int
+	// MaxPending bounds each view's queue of unprocessed bins; 0 means
+	// unbounded (the pre-backpressure behavior). When a new chunk would
+	// push a view past the bound, the Overload policy decides what
+	// happens. A chunk larger than MaxPending is admitted alone into an
+	// empty queue, so MaxPending < BatchSize degrades to
+	// one-chunk-at-a-time rather than wedging. A view's memory is
+	// bounded by MaxPending queued bins plus one chunk in flight.
+	MaxPending int
+	// Overload selects the full-queue behavior; default OverloadBlock.
+	Overload OverloadPolicy
+	// Autoscale, when non-nil, makes the worker pool elastic; nil keeps
+	// the fixed Workers-sized pool.
+	Autoscale *AutoscaleConfig
 	// Window is the per-shard sliding window, in bins (the paper fits on
 	// 1008); 0 uses each view's full seeding history.
 	Window int
@@ -50,14 +196,44 @@ type Config struct {
 	// concurrently from multiple workers. When nil, alarms accumulate
 	// internally and are retrieved with TakeAlarms.
 	OnAlarm func(Alarm)
+
+	// now is the clock batch latencies and the autoscaler run on;
+	// injectable so the load tests are deterministic. Defaults to
+	// time.Now.
+	now func() time.Time
+	// disableAutoscaleLoop keeps the background evaluation goroutine
+	// from starting so a test can drive autoscaleTick by hand — the
+	// tick's state (ewBacklog, ewLatency, calmTicks) is confined to a
+	// single driver, and that driver must not be two goroutines.
+	disableAutoscaleLoop bool
 }
 
 func (c *Config) fillDefaults() {
+	if c.Autoscale != nil {
+		a := *c.Autoscale // copy: never mutate the caller's struct
+		a.fillDefaults()
+		c.Autoscale = &a
+		if c.Workers <= 0 {
+			c.Workers = a.MinWorkers
+		}
+		if c.Workers < a.MinWorkers {
+			c.Workers = a.MinWorkers
+		}
+		if c.Workers > a.MaxWorkers {
+			c.Workers = a.MaxWorkers
+		}
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 64
+	}
+	if c.MaxPending < 0 {
+		c.MaxPending = 0
+	}
+	if c.now == nil {
+		c.now = time.Now
 	}
 }
 
@@ -69,11 +245,48 @@ type Alarm struct {
 	core.Alarm
 }
 
+// QueueStats is one view's ingest-queue accounting. At quiescence (after
+// Flush or Close) the counters reconcile with the detector:
+// EnqueuedBins - DroppedBins == ViewStats.Processed + QueuedBins, and
+// bins rejected by OverloadError were never enqueued at all.
+type QueueStats struct {
+	// QueuedBins / QueuedBatches are the work currently waiting (a chunk
+	// handed to the detector has already left the queue).
+	QueuedBins    int
+	QueuedBatches int
+	// EnqueuedBins counts every bin accepted into the queue.
+	EnqueuedBins int64
+	// DroppedBins / DroppedBatches count work evicted by
+	// OverloadDropOldest.
+	DroppedBins    int64
+	DroppedBatches int64
+	// RejectedBins counts bins refused by OverloadError.
+	RejectedBins int64
+}
+
+// Stats is a point-in-time snapshot of the monitor's load state: pool
+// size, its high-water mark, and the queue counters summed over views.
+type Stats struct {
+	// Workers is the current pool size; WorkersHighWater the largest
+	// size the pool has reached (equal when autoscaling is off).
+	Workers          int
+	WorkersHighWater int
+	// Queue counters aggregated across every view; see QueueStats.
+	QueuedBins     int
+	QueuedBatches  int
+	EnqueuedBins   int64
+	DroppedBins    int64
+	DroppedBatches int64
+	RejectedBins   int64
+}
+
 // shard is one view's detector, its FIFO of queued batches, and its
 // deferred-error log. A shard's batches are processed strictly in queue
 // order by whichever worker owns the shard at the moment, so per-view
 // sequence numbers always match arrival order; parallelism comes from
-// different shards running on different workers.
+// different shards running on different workers. Pool resizes never
+// touch this invariant: ownership, not worker identity, serializes a
+// shard.
 type shard struct {
 	name  string
 	links int
@@ -86,9 +299,16 @@ type shard struct {
 	// ProcessBatch on one view.
 	procMu sync.Mutex
 
-	qmu   sync.Mutex
-	queue []*mat.Dense
-	owned bool // a worker currently holds this shard
+	qmu        sync.Mutex
+	space      *sync.Cond // signaled when queued bins shrink; Block-policy waiters sleep here
+	queue      []*mat.Dense
+	queuedBins int
+	owned      bool // a worker currently holds this shard
+
+	enqueuedBins   int64
+	droppedBins    int64
+	droppedBatches int64
+	rejectedBins   int64
 
 	errMu sync.Mutex
 	errs  []error
@@ -107,17 +327,30 @@ func (s *shard) recordErr(err error) {
 type Monitor struct {
 	cfg Config
 
+	// ingestMu holds Ingest's closed-check and enqueue together: Ingest
+	// runs under the read side, Close flips the closed flag under the
+	// write side, so a batch is either fully enqueued before Close
+	// starts draining (and is therefore processed — no lost alarms) or
+	// fails cleanly with a closed error. This is what makes Close safe
+	// to call concurrently with Ingest and IngestStream.
+	ingestMu sync.RWMutex
+
 	mu     sync.Mutex
 	shards map[string]*shard
 	closed bool
 
 	// ready holds shards with queued work that no worker owns yet;
 	// workers round-robin over it (one batch per turn) so a busy view
-	// cannot starve the others.
-	dispatchMu sync.Mutex
-	dispatch   *sync.Cond
-	ready      []*shard
-	stopping   bool
+	// cannot starve the others. The same mutex guards the pool-size
+	// state (live/target/high-water): workers consult it between
+	// batches, which is how a shrink takes effect.
+	dispatchMu       sync.Mutex
+	dispatch         *sync.Cond
+	ready            []*shard
+	stopping         bool
+	liveWorkers      int
+	targetWorkers    int
+	workersHighWater int
 
 	workers sync.WaitGroup
 
@@ -128,6 +361,21 @@ type Monitor struct {
 	pendMu   sync.Mutex
 	pendCond *sync.Cond
 	pendN    int
+
+	// Batch-latency window the autoscaler drains each evaluation;
+	// written by workers only when autoscaling is on.
+	latMu  sync.Mutex
+	latSum time.Duration
+	latN   int
+
+	// Autoscaler state, touched only by the evaluation goroutine (or a
+	// test driving autoscaleTick directly — never both).
+	ewBacklog float64
+	ewLatency float64 // ns per batch
+	calmTicks int
+
+	autoscaleStop chan struct{}
+	autoscaleDone chan struct{}
 
 	alarmMu sync.Mutex
 	alarms  []Alarm
@@ -171,23 +419,58 @@ func NewMonitor(cfg Config) *Monitor {
 	}
 	m.dispatch = sync.NewCond(&m.dispatchMu)
 	m.pendCond = sync.NewCond(&m.pendMu)
-	for w := 0; w < cfg.Workers; w++ {
+	m.dispatchMu.Lock()
+	m.resizePoolLocked(cfg.Workers)
+	m.dispatchMu.Unlock()
+	if cfg.Autoscale != nil && !cfg.disableAutoscaleLoop {
+		m.autoscaleStop = make(chan struct{})
+		m.autoscaleDone = make(chan struct{})
+		go m.autoscaleLoop()
+	}
+	return m
+}
+
+// resizePoolLocked sets the target pool size, spawning workers up to it
+// and waking idle ones so excess workers notice and exit. dispatchMu
+// must be held. Shrinking never interrupts a batch in progress: a
+// worker re-checks the target only between batches, and shard FIFO is
+// carried by shard ownership, not by which worker runs it.
+func (m *Monitor) resizePoolLocked(n int) {
+	m.targetWorkers = n
+	for m.liveWorkers < n {
+		m.liveWorkers++
+		if m.liveWorkers > m.workersHighWater {
+			m.workersHighWater = m.liveWorkers
+		}
 		m.workers.Add(1)
 		go m.worker()
 	}
-	return m
+	if m.liveWorkers > n {
+		m.dispatch.Broadcast()
+	}
 }
 
 func (m *Monitor) worker() {
 	defer m.workers.Done()
 	for {
 		m.dispatchMu.Lock()
-		for len(m.ready) == 0 && !m.stopping {
+		for {
+			if m.stopping && len(m.ready) == 0 {
+				m.liveWorkers--
+				m.dispatchMu.Unlock()
+				return
+			}
+			if !m.stopping && m.liveWorkers > m.targetWorkers {
+				// Scaled down: bow out between batches. Remaining
+				// ready work is picked up by the surviving workers.
+				m.liveWorkers--
+				m.dispatchMu.Unlock()
+				return
+			}
+			if len(m.ready) > 0 {
+				break
+			}
 			m.dispatch.Wait()
-		}
-		if len(m.ready) == 0 {
-			m.dispatchMu.Unlock()
-			return
 		}
 		s := m.ready[0]
 		m.ready = m.ready[1:]
@@ -200,12 +483,32 @@ func (m *Monitor) worker() {
 			continue
 		}
 		batch := s.queue[0]
+		// Clear the slot: the advancing slice header would otherwise
+		// keep the batch reachable through its backing array, leaking
+		// processed (and under DropOldest, evicted) batches past the
+		// documented per-view memory bound.
+		s.queue[0] = nil
 		s.queue = s.queue[1:]
+		s.queuedBins -= batch.Rows()
+		// Space opened up: wake Block-policy producers.
+		s.space.Broadcast()
 		s.qmu.Unlock()
 
+		measure := m.cfg.Autoscale != nil
+		var start time.Time
+		if measure {
+			start = m.cfg.now()
+		}
 		s.procMu.Lock()
 		alarms, err := s.det.ProcessBatch(batch)
 		s.procMu.Unlock()
+		if measure {
+			elapsed := m.cfg.now().Sub(start)
+			m.latMu.Lock()
+			m.latSum += elapsed
+			m.latN++
+			m.latMu.Unlock()
+		}
 		if err != nil {
 			s.recordErr(err)
 		}
@@ -269,10 +572,10 @@ func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
 }
 
 // AddDetectorView registers a shard running an arbitrary streaming
-// backend — the subspace, incremental, multiscale and multi-metric
-// detectors all satisfy core.ViewDetector, and one Monitor can mix
-// them freely. The detector must already be seeded; its Stats().Links
-// fixes the batch width the view accepts.
+// backend — every detector kind in the family satisfies
+// core.ViewDetector, and one Monitor can mix them freely. The detector
+// must already be seeded; its Stats().Links fixes the batch width the
+// view accepts.
 func (m *Monitor) AddDetectorView(name string, det core.ViewDetector) error {
 	links := det.Stats().Links
 	if links <= 0 {
@@ -286,7 +589,9 @@ func (m *Monitor) AddDetectorView(name string, det core.ViewDetector) error {
 	if _, dup := m.shards[name]; dup {
 		return fmt.Errorf("engine: duplicate view %q", name)
 	}
-	m.shards[name] = &shard{name: name, links: links, det: det}
+	s := &shard{name: name, links: links, det: det}
+	s.space = sync.NewCond(&s.qmu)
+	m.shards[name] = s
 	return nil
 }
 
@@ -297,7 +602,24 @@ func (m *Monitor) AddDetectorView(name string, det core.ViewDetector) error {
 // concurrently across the worker pool. The batch's rows are copied into
 // the window as they are processed; the caller must not mutate the batch
 // until Flush (or Close) returns.
+//
+// When MaxPending bounds the view's queue, a full queue engages the
+// Overload policy per chunk: OverloadBlock waits for workers to drain
+// space (backpressure), OverloadDropOldest evicts the oldest queued
+// chunks to make room, and OverloadError returns ErrOverloaded without
+// queueing the remaining chunks. Once Ingest has accepted a view (the
+// monitor was open at entry), a concurrent Close waits for the call to
+// finish and then drains everything it enqueued.
+//
+// With no bound a call's chunks are appended atomically, so concurrent
+// Ingest calls to one view never interleave each other's chunks. With a
+// bound, admission is necessarily per chunk (Block must release the
+// queue while it waits), so two concurrent calls to the same view may
+// interleave at chunk granularity — run one producer per view (the
+// IngestStream pattern) when cross-call ordering matters.
 func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
+	m.ingestMu.RLock()
+	defer m.ingestMu.RUnlock()
 	s, err := m.lookup(view)
 	if err != nil {
 		return err
@@ -318,9 +640,69 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 	if len(chunks) == 0 {
 		return nil
 	}
-	m.addPending(len(chunks))
+	if m.cfg.MaxPending <= 0 {
+		m.addPending(len(chunks))
+		s.qmu.Lock()
+		s.queue = append(s.queue, chunks...)
+		s.queuedBins += bins
+		s.enqueuedBins += int64(bins)
+		wake := !s.owned
+		if wake {
+			s.owned = true
+		}
+		s.qmu.Unlock()
+		if wake {
+			m.readyShard(s)
+		}
+		return nil
+	}
+	for ci, chunk := range chunks {
+		if err := m.enqueue(s, chunk); err != nil {
+			rejected := bins - ci*m.cfg.BatchSize
+			s.qmu.Lock()
+			s.rejectedBins += int64(rejected)
+			s.qmu.Unlock()
+			return fmt.Errorf("engine: view %q: %d of %d bins rejected: %w", view, rejected, bins, err)
+		}
+	}
+	return nil
+}
+
+// enqueue admits one chunk to the shard's queue under the overload
+// policy and wakes a worker. A chunk is admitted when it fits under
+// MaxPending or the queue is empty (so an oversized chunk passes alone
+// instead of wedging).
+func (m *Monitor) enqueue(s *shard, chunk *mat.Dense) error {
+	chunkBins := chunk.Rows()
+	m.addPending(1)
 	s.qmu.Lock()
-	s.queue = append(s.queue, chunks...)
+	if max := m.cfg.MaxPending; max > 0 {
+		switch m.cfg.Overload {
+		case OverloadBlock:
+			for s.queuedBins > 0 && s.queuedBins+chunkBins > max {
+				s.space.Wait()
+			}
+		case OverloadDropOldest:
+			for len(s.queue) > 0 && s.queuedBins+chunkBins > max {
+				old := s.queue[0]
+				s.queue[0] = nil // release the evicted batch to the GC
+				s.queue = s.queue[1:]
+				s.queuedBins -= old.Rows()
+				s.droppedBins += int64(old.Rows())
+				s.droppedBatches++
+				m.donePending()
+			}
+		case OverloadError:
+			if s.queuedBins > 0 && s.queuedBins+chunkBins > max {
+				s.qmu.Unlock()
+				m.donePending()
+				return ErrOverloaded
+			}
+		}
+	}
+	s.queue = append(s.queue, chunk)
+	s.queuedBins += chunkBins
+	s.enqueuedBins += int64(chunkBins)
 	wake := !s.owned
 	if wake {
 		s.owned = true
@@ -338,13 +720,17 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 // stays hot even for bin-at-a-time sources. It blocks the calling
 // goroutine for the life of the stream — run one IngestStream goroutine
 // per source — and returns after the final partial batch is queued, or
-// on the first error (mis-sized measurement, monitor closed); on error
-// the caller should cancel the context driving the stream so the
-// producer goroutine does not block forever on an undrained channel.
-// Like Ingest, it queues work asynchronously: call Flush to wait for
-// processing.
+// on the first error (mis-sized measurement, monitor closed, a full
+// queue under OverloadError); on error the caller should cancel the
+// context driving the stream so the producer goroutine does not block
+// forever on an undrained channel. Under OverloadBlock a full queue
+// stalls the channel reads instead — bounded backpressure all the way
+// to the collector. Like Ingest, it queues work asynchronously: call
+// Flush to wait for processing.
 func (m *Monitor) IngestStream(view string, ch <-chan netmeas.LinkMeasurement) error {
+	m.ingestMu.RLock()
 	s, err := m.lookup(view)
+	m.ingestMu.RUnlock()
 	if err != nil {
 		return err
 	}
@@ -385,11 +771,11 @@ func (m *Monitor) IngestStream(view string, ch <-chan netmeas.LinkMeasurement) e
 }
 
 // ProcessBatch runs a batch through the view's shard synchronously on
-// the caller's goroutine (bypassing the queue — it may jump ahead of
-// batches still queued by Ingest, though it never interleaves with
-// them mid-batch) and returns the raised alarms, which are also
-// delivered to OnAlarm/TakeAlarms. The batch's alarms are returned
-// even when err is non-nil: the detector reports deferred
+// the caller's goroutine (bypassing the queue and its MaxPending bound —
+// it may jump ahead of batches still queued by Ingest, though it never
+// interleaves with them mid-batch) and returns the raised alarms, which
+// are also delivered to OnAlarm/TakeAlarms. The batch's alarms are
+// returned even when err is non-nil: the detector reports deferred
 // background-refit failures alongside valid detections, and dropping
 // the detections would lose real anomalies.
 func (m *Monitor) ProcessBatch(view string, batch *mat.Dense) ([]Alarm, error) {
@@ -417,6 +803,19 @@ func (m *Monitor) lookup(view string) (*shard, error) {
 	if m.closed {
 		return nil, fmt.Errorf("engine: monitor is closed")
 	}
+	s, ok := m.shards[view]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown view %q", view)
+	}
+	return s, nil
+}
+
+// lookupAny resolves a view whether or not the monitor is closed — for
+// read-only statistics, which remain meaningful (and are often wanted)
+// after Close.
+func (m *Monitor) lookupAny(view string) (*shard, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	s, ok := m.shards[view]
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown view %q", view)
@@ -505,33 +904,87 @@ func (m *Monitor) Detector(view string) (core.ViewDetector, error) {
 }
 
 // ViewStats reports a view's backend kind, processed-bin count, model
-// rank and completed refits.
+// rank and completed refits. It keeps working after Close, so
+// post-shutdown accounting can reconcile against QueueStats.
 func (m *Monitor) ViewStats(view string) (core.ViewStats, error) {
-	s, err := m.lookup(view)
+	s, err := m.lookupAny(view)
 	if err != nil {
 		return core.ViewStats{}, err
 	}
 	return s.det.Stats(), nil
 }
 
-// Close drains the queue, stops the workers, and waits out every
-// in-flight background refit — including one triggered by the final
-// batch — so no refit goroutine outlives Close. A refit that fails
-// while Close drains keeps its error parked in the detector; call Errs
-// after Close to harvest it (Close cannot deliver it to anyone). After
-// Close, Ingest and ProcessBatch fail. Close must not be called
-// concurrently with Ingest or IngestStream: quiesce producers first
-// (the closed flag makes later Ingest calls fail cleanly, but a racing
-// one could enqueue into a closing pool).
+// QueueStats reports a view's ingest-queue accounting: current depth,
+// total accepted bins, and the bins lost to the overload policy. It
+// keeps working after Close.
+func (m *Monitor) QueueStats(view string) (QueueStats, error) {
+	s, err := m.lookupAny(view)
+	if err != nil {
+		return QueueStats{}, err
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return QueueStats{
+		QueuedBins:     s.queuedBins,
+		QueuedBatches:  len(s.queue),
+		EnqueuedBins:   s.enqueuedBins,
+		DroppedBins:    s.droppedBins,
+		DroppedBatches: s.droppedBatches,
+		RejectedBins:   s.rejectedBins,
+	}, nil
+}
+
+// Stats reports the monitor's load state: current pool size, the
+// high-water mark the autoscaler reached, and queue depth / drop
+// counters aggregated across views. It keeps working after Close.
+func (m *Monitor) Stats() Stats {
+	var st Stats
+	for _, s := range m.snapshotShards() {
+		s.qmu.Lock()
+		st.QueuedBins += s.queuedBins
+		st.QueuedBatches += len(s.queue)
+		st.EnqueuedBins += s.enqueuedBins
+		st.DroppedBins += s.droppedBins
+		st.DroppedBatches += s.droppedBatches
+		st.RejectedBins += s.rejectedBins
+		s.qmu.Unlock()
+	}
+	m.dispatchMu.Lock()
+	st.Workers = m.liveWorkers
+	st.WorkersHighWater = m.workersHighWater
+	m.dispatchMu.Unlock()
+	return st
+}
+
+// Close drains the queues, stops the autoscaler and the workers, and
+// waits out every in-flight background refit — including one triggered
+// by the final batch — so no goroutine outlives Close. A refit that
+// fails while Close drains keeps its error parked in the detector; call
+// Errs after Close to harvest it (Close cannot deliver it to anyone).
+// After Close, Ingest and ProcessBatch fail; statistics accessors keep
+// working.
+//
+// Close is safe to call concurrently with Ingest and IngestStream: a
+// racing Ingest either completes before Close begins draining — in
+// which case everything it queued is processed and its alarms are
+// retrievable afterwards — or fails with a monitor-closed error having
+// queued nothing.
 func (m *Monitor) Close() {
+	m.ingestMu.Lock()
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		m.ingestMu.Unlock()
 		return
 	}
 	m.closed = true
 	m.mu.Unlock()
+	m.ingestMu.Unlock()
 	m.waitPending()
+	if m.autoscaleStop != nil {
+		close(m.autoscaleStop)
+		<-m.autoscaleDone
+	}
 	m.dispatchMu.Lock()
 	m.stopping = true
 	m.dispatch.Broadcast()

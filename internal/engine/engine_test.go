@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"netanomaly/internal/core"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
 	"netanomaly/internal/topology"
@@ -324,6 +327,193 @@ func TestMonitorErrors(t *testing.T) {
 		t.Fatal("AddView after Close accepted")
 	}
 	m.Close() // idempotent
+}
+
+// TestMonitorErrsAndTakeAlarmsDrainRace is the drain-path interleaving
+// table: two live IngestStream producers — one whose view's background
+// refits deterministically fail, one raising an alarm per bin — race a
+// mid-burst Close under every overload policy. Required afterwards, in
+// any interleaving (run under -race in CI): Close and both producers
+// return (no deadlock), producer errors are only the documented kinds,
+// the failed refit is harvestable through Errs exactly once and tagged
+// with its view, per-view alarms stay in FIFO order through TakeAlarms,
+// a second TakeAlarms is empty, and the queue counters reconcile with
+// the bins each backend actually processed.
+func TestMonitorErrsAndTakeAlarmsDrainRace(t *testing.T) {
+	for _, policy := range []OverloadPolicy{OverloadBlock, OverloadDropOldest, OverloadError} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			const links = 6
+			const flakyBins = 40
+			history := mat.Zeros(flakyBins, links)
+			for i := 0; i < flakyBins; i++ {
+				for j := 0; j < links; j++ {
+					history.Set(i, j, 100+10*float64((i*7+j*3)%13))
+				}
+			}
+			// A constant continuation drives the flaky view's window
+			// degenerate: the refit launched after RefitEvery bins fails
+			// and parks its error for the drain path to surface.
+			means := history.ColMeans()
+			flaky, err := core.NewOnlineDetector(history, mat.Identity(links), core.OnlineConfig{Window: flakyBins, RefitEvery: flakyBins})
+			if err != nil {
+				t.Fatal(err)
+			}
+			busy := &loadDetector{links: links, alarmAll: true}
+			m := NewMonitor(Config{
+				Workers:    2,
+				BatchSize:  8,
+				MaxPending: 24,
+				Overload:   policy,
+			})
+			if err := m.AddDetectorView("flaky", flaky); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.AddDetectorView("busy", busy); err != nil {
+				t.Fatal(err)
+			}
+
+			// Producers: channel feeders + IngestStream consumers. The
+			// feeders abort on stop so an early IngestStream error (from
+			// Close or OverloadError) cannot leave them wedged on a send.
+			const streamBins = 400
+			feed := func(ch chan<- netmeas.LinkMeasurement, row func(i int) []float64, stop <-chan struct{}) {
+				defer close(ch)
+				for i := 0; i < streamBins; i++ {
+					select {
+					case ch <- netmeas.LinkMeasurement{Bin: i, Loads: row(i)}:
+					case <-stop:
+						return
+					}
+				}
+			}
+			ingErrs := make([]error, 2)
+			stops := make([]chan struct{}, 2)
+			var wg sync.WaitGroup
+			for vi, view := range []string{"flaky", "busy"} {
+				vi, view := vi, view
+				ch := make(chan netmeas.LinkMeasurement)
+				stops[vi] = make(chan struct{})
+				row := func(i int) []float64 {
+					if view == "flaky" {
+						return append([]float64(nil), means...)
+					}
+					r := make([]float64, links)
+					r[0] = float64(i) // marker: alarm SPE identifies the bin
+					return r
+				}
+				go feed(ch, row, stops[vi])
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer close(stops[vi])
+					ingErrs[vi] = m.IngestStream(view, ch)
+				}()
+			}
+
+			// Let the flaky view cross its refit trigger (so the deferred
+			// error exists) before pulling the plug — unless its producer
+			// already finished or died (possible under OverloadError),
+			// in which case Close races whatever state there is.
+			deadline := time.Now().Add(10 * time.Second)
+		waitTrigger:
+			for {
+				st, err := m.ViewStats("flaky")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Processed > flakyBins {
+					break
+				}
+				select {
+				case <-stops[0]:
+					break waitTrigger
+				default:
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("flaky view stuck at %d processed bins", st.Processed)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			closed := make(chan struct{})
+			go func() {
+				m.Close()
+				close(closed)
+			}()
+			select {
+			case <-closed:
+			case <-time.After(30 * time.Second):
+				t.Fatal("Close deadlocked against live IngestStreams")
+			}
+			wg.Wait()
+
+			for vi, err := range ingErrs {
+				if err == nil {
+					continue
+				}
+				if !strings.Contains(err.Error(), "closed") && !errors.Is(err, ErrOverloaded) {
+					t.Fatalf("producer %d returned unexpected error kind: %v", vi, err)
+				}
+			}
+			errs := m.Errs()
+			refitErrs := 0
+			for _, err := range errs {
+				if !strings.Contains(err.Error(), `view "flaky"`) {
+					t.Fatalf("error not tagged with its view: %v", err)
+				}
+				if strings.Contains(err.Error(), "refit") {
+					refitErrs++
+				}
+			}
+			flakyStats, err := m.ViewStats("flaky")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flakyStats.Processed > flakyBins && refitErrs == 0 {
+				t.Fatalf("refit trigger crossed (%d bins) but its failure was lost in the drain: %v", flakyStats.Processed, errs)
+			}
+			if again := m.Errs(); len(again) != len(errs) {
+				t.Fatalf("Errs unstable across calls: %d then %d", len(errs), len(again))
+			}
+
+			lastSeq := map[string]int{}
+			lastMarker := -1.0
+			for _, a := range m.TakeAlarms() {
+				if prev, ok := lastSeq[a.View]; ok && a.Seq <= prev {
+					t.Fatalf("view %q alarms out of order: seq %d after %d", a.View, a.Seq, prev)
+				}
+				lastSeq[a.View] = a.Seq
+				if a.View == "busy" {
+					if a.SPE <= lastMarker {
+						t.Fatalf("busy view FIFO broken: marker %v after %v", a.SPE, lastMarker)
+					}
+					lastMarker = a.SPE
+				}
+			}
+			if got := m.TakeAlarms(); len(got) != 0 {
+				t.Fatalf("second TakeAlarms returned %d alarms", len(got))
+			}
+			for _, view := range []string{"flaky", "busy"} {
+				qs, err := m.QueueStats(view)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := m.ViewStats(view)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if qs.QueuedBins != 0 {
+					t.Fatalf("view %q queue not drained by Close: %+v", view, qs)
+				}
+				if got := qs.EnqueuedBins - qs.DroppedBins; got != int64(st.Processed) {
+					t.Fatalf("view %q counters do not reconcile: %+v vs processed %d", view, qs, st.Processed)
+				}
+				if policy != OverloadDropOldest && qs.DroppedBins != 0 {
+					t.Fatalf("view %q dropped bins under %v: %+v", view, policy, qs)
+				}
+			}
+		})
+	}
 }
 
 // TestMonitorAlarmsArriveAfterClose pins the shutdown half of the alarm

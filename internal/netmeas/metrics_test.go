@@ -25,6 +25,31 @@ func metricsFixture(t *testing.T, seed int64) (*topology.Topology, *mat.Dense, *
 	return topo, od, ms
 }
 
+// TestLinkMetricsReproducible pins the derived-metric synthesis to the
+// configured seed, bin for bin: trafficgen -metrics output (and the
+// multiflow smoke numbers built on it) must not change between runs.
+func TestLinkMetricsReproducible(t *testing.T) {
+	_, _, ms1 := metricsFixture(t, 62)
+	_, _, ms2 := metricsFixture(t, 62)
+	s1, err := ms1.Stacked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ms2.Stacked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s1.RawData(), s2.RawData()
+	if len(a) != len(b) {
+		t.Fatalf("shapes differ: %d vs %d values", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at value %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestLinkMetricsShapes(t *testing.T) {
 	topo, od, ms := metricsFixture(t, 61)
 	bins, _ := od.Dims()

@@ -134,17 +134,98 @@ func NewOnlineDetector(history *Matrix, topo *Topology, cfg OnlineConfig) (*Onli
 type Monitor = engine.Monitor
 
 // MonitorConfig configures NewMonitor; the zero value gives GOMAXPROCS
-// workers, 64-bin batches and the paper's detection defaults.
+// workers, 64-bin batches, unbounded per-view queues and the paper's
+// detection defaults.
 type MonitorConfig = engine.Config
 
 // MonitorAlarm is a diagnosed anomaly tagged with the view that raised
 // it.
 type MonitorAlarm = engine.Alarm
 
+// OverloadPolicy selects what Monitor.Ingest does when a view's bounded
+// queue is full: block the producer (backpressure), drop the oldest
+// queued batch (freshness), or fail with ErrOverloaded (load shedding).
+type OverloadPolicy = engine.OverloadPolicy
+
+const (
+	// OverloadBlock stalls the producer until workers drain space — the
+	// default, and with Monitor.IngestStream the backpressure reaches
+	// the measurement channel and its collector.
+	OverloadBlock = engine.OverloadBlock
+	// OverloadDropOldest evicts the oldest queued batches to make room;
+	// dropped bins raise no alarms and are counted in the monitor's
+	// Stats and per-view QueueStats.
+	OverloadDropOldest = engine.OverloadDropOldest
+	// OverloadError rejects the overflow and returns ErrOverloaded.
+	OverloadError = engine.OverloadError
+)
+
+// ErrOverloaded is returned (wrapped) by Ingest/IngestStream under
+// OverloadError when a view's queue is full; test with errors.Is.
+var ErrOverloaded = engine.ErrOverloaded
+
+// ParseOverloadPolicy maps "block", "dropoldest" or "error" to its
+// policy — a convenience for flag plumbing.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	return engine.ParseOverloadPolicy(s)
+}
+
+// AutoscaleConfig tunes the elastic worker pool; see WithAutoscale for
+// the common case and the engine documentation for the knobs.
+type AutoscaleConfig = engine.AutoscaleConfig
+
+// MonitorStats is the monitor's load snapshot: current and high-water
+// worker counts plus queue depth, drop and rejection counters summed
+// over views. Retrieve with Monitor.Stats (works after Close too).
+type MonitorStats = engine.Stats
+
+// ViewQueueStats is one view's ingest-queue accounting (depth, accepted
+// bins, bins lost to the overload policy); retrieve with
+// Monitor.QueueStats. At quiescence EnqueuedBins - DroppedBins equals
+// the view's ViewStats.Processed.
+type ViewQueueStats = engine.QueueStats
+
+// MonitorOption adjusts a MonitorConfig in NewMonitor — the load-safety
+// knobs (WithMaxPending, WithOverloadPolicy, WithAutoscale) without
+// spelling out engine configuration structs.
+type MonitorOption func(*MonitorConfig)
+
+// WithMaxPending bounds every view's queue to at most bins unprocessed
+// bins; a full queue engages the overload policy. 0 (the default) is
+// unbounded.
+func WithMaxPending(bins int) MonitorOption {
+	return func(c *MonitorConfig) { c.MaxPending = bins }
+}
+
+// WithOverloadPolicy selects the full-queue behavior (default
+// OverloadBlock).
+func WithOverloadPolicy(p OverloadPolicy) MonitorOption {
+	return func(c *MonitorConfig) { c.Overload = p }
+}
+
+// WithAutoscale lets the worker pool grow and shrink between min and
+// max workers from observed queue depth and batch latency (EW-smoothed,
+// with hysteresis on scale-down), instead of holding a fixed pool.
+// Shard affinity — and therefore per-view FIFO ordering — is preserved
+// across every resize. Pass 0 for either bound to take the defaults
+// (min 1, max GOMAXPROCS); for the finer knobs set
+// MonitorConfig.Autoscale directly.
+func WithAutoscale(min, max int) MonitorOption {
+	return func(c *MonitorConfig) {
+		c.Autoscale = &AutoscaleConfig{MinWorkers: min, MaxWorkers: max}
+	}
+}
+
 // NewMonitor starts a streaming detection engine with no views. Register
 // views with AddTopologyView (or Monitor.AddView with an explicit
-// routing matrix) and feed them with Monitor.Ingest.
-func NewMonitor(cfg MonitorConfig) *Monitor { return engine.NewMonitor(cfg) }
+// routing matrix) and feed them with Monitor.Ingest. Options apply on
+// top of cfg.
+func NewMonitor(cfg MonitorConfig, opts ...MonitorOption) *Monitor {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return engine.NewMonitor(cfg)
+}
 
 // AddTopologyView registers a subspace detector shard on the monitor
 // for a topology's measurement stream: history (bins x links) seeds the

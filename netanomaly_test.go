@@ -347,3 +347,61 @@ func TestOnlineDetectorViaPublicAPI(t *testing.T) {
 		t.Fatalf("online alarm flow %d", al.Flow)
 	}
 }
+
+// TestMonitorLoadOptionsViaPublicAPI drives the load-safety surface the
+// way an operator would: bounded queues, an overload policy and an
+// elastic pool configured through NewMonitor options, with Stats and
+// QueueStats reconciling against the processed stream afterwards.
+func TestMonitorLoadOptionsViaPublicAPI(t *testing.T) {
+	topo := netanomaly.Abilene()
+	cfg := netanomaly.DefaultTrafficConfig(13)
+	cfg.Bins = 300
+	od, err := netanomaly.GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := netanomaly.LinkLoads(topo, od)
+	m := links.Cols()
+	history := netanomaly.NewMatrix(200, m, links.RawData()[:200*m])
+	stream := netanomaly.NewMatrix(100, m, links.RawData()[200*m:])
+
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{BatchSize: 16},
+		netanomaly.WithMaxPending(32),
+		netanomaly.WithOverloadPolicy(netanomaly.OverloadBlock),
+		netanomaly.WithAutoscale(1, 2),
+	)
+	defer mon.Close()
+	if err := netanomaly.AddTopologyView(mon, "v", history, topo); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Ingest("v", stream); err != nil {
+		t.Fatal(err)
+	}
+	mon.Flush()
+
+	st := mon.Stats()
+	if st.EnqueuedBins != 100 || st.DroppedBins != 0 || st.RejectedBins != 0 {
+		t.Fatalf("block-policy run lost bins: %+v", st)
+	}
+	if st.WorkersHighWater < 1 || st.WorkersHighWater > 2 {
+		t.Fatalf("autoscaled pool outside [1,2]: %+v", st)
+	}
+	qs, err := mon.QueueStats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := mon.ViewStats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.EnqueuedBins-qs.DroppedBins != int64(vs.Processed) {
+		t.Fatalf("public counters do not reconcile: %+v vs processed %d", qs, vs.Processed)
+	}
+
+	if _, err := netanomaly.ParseOverloadPolicy("dropoldest"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netanomaly.ParseOverloadPolicy("nonsense"); err == nil {
+		t.Fatal("bad overload policy name accepted")
+	}
+}
