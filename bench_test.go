@@ -7,19 +7,23 @@
 package netanomaly_test
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"netanomaly"
 	"netanomaly/internal/core"
 	"netanomaly/internal/engine"
 	"netanomaly/internal/eval"
 	"netanomaly/internal/experiments"
 	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
+	"netanomaly/internal/netmeas"
 	"netanomaly/internal/tomo"
 	"netanomaly/internal/topology"
 	"netanomaly/internal/wavelet"
@@ -370,6 +374,186 @@ func largeLinkTrace(links int) *mat.Dense {
 		}
 	}
 	return y
+}
+
+// benchSinkDetector counts bins and raises nothing — the ingest
+// benchmarks measure the transport and dispatch layers, not a model.
+type benchSinkDetector struct {
+	links int
+	n     atomic.Int64
+}
+
+func (d *benchSinkDetector) Seed(*mat.Dense) error { return nil }
+func (d *benchSinkDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
+	d.n.Add(int64(y.Rows()))
+	return nil, nil
+}
+func (d *benchSinkDetector) Refit() error          { return nil }
+func (d *benchSinkDetector) WaitRefits()           {}
+func (d *benchSinkDetector) TakeRefitError() error { return nil }
+func (d *benchSinkDetector) Stats() core.ViewStats {
+	return core.ViewStats{Backend: "sink", Links: d.links, Processed: int(d.n.Load())}
+}
+
+// BenchmarkBinaryIngest prices one measurement bin through the two
+// ingest paths at m = 120: the CSV path (parse the stream, hand the
+// matrix to Ingest) against the binary wire format decoded straight
+// into pooled batch buffers (IngestBinary). One op is one bin; the
+// timed loop runs the binary path, the CSV path is measured once as
+// the reference, and the benchmark fails itself if the binary path is
+// under 5x the CSV throughput or allocates a heap object per bin at
+// steady state — the committed BENCH_ingest.json trajectory holds
+// these two numbers per PR.
+func BenchmarkBinaryIngest(b *testing.B) {
+	const links = 120
+	y := largeLinkTrace(links)
+	bins := y.Rows()
+
+	var binBuf, csvBuf bytes.Buffer
+	if err := netmeas.WriteMatrixBinary(&binBuf, y); err != nil {
+		b.Fatal(err)
+	}
+	if err := netanomaly.WriteMatrixCSV(&csvBuf, y, nil); err != nil {
+		b.Fatal(err)
+	}
+	binBytes, csvBytes := binBuf.Bytes(), csvBuf.Bytes()
+
+	mon := engine.NewMonitor(engine.Config{Workers: 1, BatchSize: 64, MaxPending: 256, Overload: engine.OverloadBlock})
+	defer mon.Close()
+	if err := mon.AddDetectorView("v", &benchSinkDetector{links: links}); err != nil {
+		b.Fatal(err)
+	}
+	binStream := func() {
+		dec, err := netmeas.NewBinaryDecoder(bytes.NewReader(binBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mon.IngestBinary("v", dec); err != nil {
+			b.Fatal(err)
+		}
+		mon.Flush()
+	}
+	csvStream := func() {
+		m, _, err := netanomaly.ReadMatrixCSV(bytes.NewReader(csvBytes))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := mon.Ingest("v", m); err != nil {
+			b.Fatal(err)
+		}
+		mon.Flush()
+	}
+
+	binStream() // warm the pool and the queue's backing array
+	if perBin := testing.AllocsPerRun(3, binStream) / float64(bins); perBin >= 1 {
+		b.Fatalf("binary ingest allocates %.3f heap objects per bin at steady state, want amortized < 1", perBin)
+	}
+	csvStream() // fault in the CSV path before timing it
+	const csvReps = 3
+	csvStart := time.Now()
+	for i := 0; i < csvReps; i++ {
+		csvStream()
+	}
+	csvPerBin := time.Since(csvStart).Seconds() / float64(csvReps*bins)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	fed := 0
+	for fed < b.N {
+		binStream()
+		fed += bins
+	}
+	b.StopTimer()
+	binPerBin := b.Elapsed().Seconds() / float64(fed)
+	speedup := csvPerBin / binPerBin
+	b.ReportMetric(speedup, "x_vs_csv")
+	b.ReportMetric(1/binPerBin, "bins/sec")
+	if speedup < 5 {
+		b.Fatalf("binary ingest is only %.1fx the CSV path (%.0f ns/bin vs %.0f ns/bin), want >= 5x",
+			speedup, binPerBin*1e9, csvPerBin*1e9)
+	}
+}
+
+// BenchmarkSketchRefit prices a streaming shard's model rebuild at
+// m = 120 across the three covariance strategies: the full-SVD window
+// fit, the incremental backend's m x m tracked-covariance eigensolve,
+// and the sketch backend's l x l Frequent-Directions eigenproblem
+// (l = 4x rank). Every sub-benchmark produces a ready subspace model
+// of the same rank, so ns/op are directly comparable; the committed
+// BENCH_sketch.json trajectory records the ratios per PR.
+func BenchmarkSketchRefit(b *testing.B) {
+	const links, rank = 120, 5
+	y := largeLinkTrace(links)
+
+	b.Run("full-svd-window", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := core.Fit(y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Build(p, rank); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("covtracker-eig", func(b *testing.B) {
+		tr, err := core.NewCovTracker(links, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr.UpdateAll(y)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Model(rank); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("sketch-eig", func(b *testing.B) {
+		sk, err := core.NewFDSketch(links, 4*rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sk.InsertAll(y); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, span, err := sk.PCA()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if span < rank {
+				b.Fatalf("sketch spans %d directions, need %d", span, rank)
+			}
+			if _, err := core.Build(p, rank); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("sketch-update-batch", func(b *testing.B) {
+		// The amortized per-batch price the sketch pays to keep its
+		// cheap refit available — the counterpart of the incremental
+		// backend's covtracker-update-batch row.
+		sk, err := core.NewFDSketch(links, 4*rank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sk.InsertAll(y); err != nil {
+			b.Fatal(err)
+		}
+		chunk := mat.NewDense(64, links, y.RawData()[:64*links])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sk.InsertAll(chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkIncrementalRefit compares the two ways a streaming shard can

@@ -1,0 +1,90 @@
+package netanomaly
+
+import (
+	"context"
+	"io"
+	"os"
+
+	"netanomaly/internal/netmeas"
+)
+
+// ErrBinaryFormat is returned (wrapped) by the binary decoder when a
+// stream is structurally invalid — bad magic, unsupported version, an
+// impossible link count or a mis-sized frame; test with errors.Is.
+// Truncation mid-header or mid-frame is reported as
+// io.ErrUnexpectedEOF instead, so callers can tell a corrupt stream
+// from one that was cut short.
+var ErrBinaryFormat = netmeas.ErrBinaryFormat
+
+// BinaryEncoder writes link-measurement bins in the compact binary
+// wire format (see the "Binary ingest" section of the README): a
+// 12-byte stream header carrying the link count, then one
+// length-prefixed little-endian float64 frame per bin. The encoder
+// reuses one internal buffer, so steady-state encoding does not
+// allocate.
+type BinaryEncoder = netmeas.BinaryEncoder
+
+// NewBinaryEncoder writes the stream header for links columns and
+// returns an encoder for the frames.
+func NewBinaryEncoder(w io.Writer, links int) (*BinaryEncoder, error) {
+	return netmeas.NewBinaryEncoder(w, links)
+}
+
+// BinaryDecoder reads the binary wire format frame by frame into
+// caller-provided buffers; the streaming consumer behind
+// Monitor.IngestBinary. Decoding a frame performs no heap allocation.
+type BinaryDecoder = netmeas.BinaryDecoder
+
+// NewBinaryDecoder reads and validates the stream header.
+func NewBinaryDecoder(r io.Reader) (*BinaryDecoder, error) {
+	return netmeas.NewBinaryDecoder(r)
+}
+
+// WriteMatrixBinary writes a bins x links matrix as one binary stream:
+// header plus one frame per row. The binary format carries no column
+// names — pair it with a topology, which defines the link order.
+func WriteMatrixBinary(w io.Writer, m *Matrix) error {
+	return netmeas.WriteMatrixBinary(w, m)
+}
+
+// ReadMatrixBinary reads a complete binary stream into a matrix — the
+// batch counterpart of the streaming BinaryDecoder.
+func ReadMatrixBinary(r io.Reader) (*Matrix, error) {
+	return netmeas.ReadMatrixBinary(r)
+}
+
+// SaveMatrixBinary writes the matrix to a file in the binary wire
+// format.
+func SaveMatrixBinary(path string, m *Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteMatrixBinary(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadMatrixBinary reads a matrix from a binary-format file.
+func LoadMatrixBinary(path string) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMatrixBinary(f)
+}
+
+// StreamBinary decodes a binary stream into LinkMeasurements on a
+// channel — the wire-format counterpart of StreamMatrix, for feeding
+// Monitor.IngestStream from a socket or pipe. The channel closes at
+// end of stream, on a decode error, or when ctx is cancelled; call the
+// returned function after the channel closes to learn whether the
+// stream ended cleanly. For the allocation-free path into a Monitor,
+// prefer Monitor.IngestBinary, which reuses pooled batch buffers
+// instead of emitting one row copy per bin.
+func StreamBinary(ctx context.Context, r io.Reader) (<-chan LinkMeasurement, func() error, error) {
+	return netmeas.StreamBinary(ctx, r)
+}

@@ -1,0 +1,89 @@
+package netanomaly_test
+
+// Go-native fuzzing of the binary ingestion boundary, the mirror of
+// FuzzReadMatrixCSV for the wire format (run continuously with
+// `go test -fuzz=FuzzDecodeBinaryFrames .`; the seed corpus in
+// testdata/fuzz runs as an ordinary test in CI). The decoder feeds
+// pooled buffers sized from attacker-controlled header fields, so the
+// properties checked are load-bearing: every accepted stream is a
+// rectangular matrix of finite values, every rejection is classified —
+// structural corruption wraps ErrBinaryFormat, truncation wraps
+// io.ErrUnexpectedEOF — and an accepted stream re-encodes to the
+// identical bytes, because the format has exactly one canonical
+// serialization per matrix.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"netanomaly"
+)
+
+// binSeed renders a valid two-frame stream the mutator can start from.
+func binSeed() []byte {
+	var buf bytes.Buffer
+	m := netanomaly.NewMatrix(2, 3, []float64{1, 2.5, -3e9, 0, 5e-300, 6})
+	if err := netanomaly.WriteMatrixBinary(&buf, m); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzDecodeBinaryFrames(f *testing.F) {
+	valid := binSeed()
+	f.Add(valid)
+	f.Add([]byte{})                             // empty stream
+	f.Add(valid[:12])                           // header only, no frames
+	f.Add(valid[:len(valid)-5])                 // truncated mid-payload
+	f.Add(valid[:13])                           // truncated mid-length-prefix
+	f.Add(append([]byte("XAMB"), valid[4:]...)) // bad magic
+	mut := func(i int, b byte) []byte {
+		c := append([]byte(nil), valid...)
+		c[i] = b
+		return c
+	}
+	f.Add(mut(4, 9))    // unsupported version
+	f.Add(mut(5, 1))    // nonzero reserved byte
+	f.Add(mut(8, 0))    // link count 0 (low byte of little-endian u32)
+	f.Add(mut(11, 255)) // link count far beyond MaxBinaryLinks
+	f.Add(mut(12, 7))   // frame length prefix != 8*links
+	// NaN payload: all-ones exponent with a mantissa bit set.
+	nan := append([]byte(nil), valid...)
+	for i := 16; i < 24; i++ {
+		nan[i] = 0xff
+	}
+	f.Add(nan)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := netanomaly.ReadMatrixBinary(bytes.NewReader(b))
+		if err != nil {
+			if !errors.Is(err, netanomaly.ErrBinaryFormat) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unclassified decode error %v: rejections must wrap ErrBinaryFormat (corrupt) or io.ErrUnexpectedEOF (truncated)", err)
+			}
+			return
+		}
+		rows, cols := m.Dims()
+		if rows <= 0 || cols <= 0 {
+			t.Fatalf("accepted stream produced a %dx%d matrix", rows, cols)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if v := m.At(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value %v at %d,%d slipped past the decoder", v, i, j)
+				}
+			}
+		}
+		// Canonical form: the format has no padding, optional fields or
+		// alternate encodings, so re-serializing an accepted stream must
+		// reproduce it byte for byte.
+		var buf bytes.Buffer
+		if err := netanomaly.WriteMatrixBinary(&buf, m); err != nil {
+			t.Fatalf("re-encoding accepted matrix: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), b) {
+			t.Fatalf("accepted stream is not canonical: %d input bytes re-encode to %d different bytes", len(b), buf.Len())
+		}
+	})
+}

@@ -1,9 +1,17 @@
-// Command diagnose runs the subspace method on a link-load CSV (as
+// Command diagnose runs the subspace method on a link-load matrix (as
 // written by cmd/trafficgen, or exported from an SNMP collector) and
 // prints every diagnosed volume anomaly: when it happened, the OD flow
 // responsible, and the estimated byte count.
 //
 //	diagnose -topology abilene -links links.csv -confidence 0.999
+//
+// The link matrix may be CSV or the binary wire format of cmd/ingestd
+// (the encoding is sniffed from the leading bytes), and -links - reads
+// it from stdin — so a binary generator pipes straight in with no CSV
+// anywhere:
+//
+//	trafficgen -format binary -links - -anomaly 24,500,9e7 |
+//	    diagnose -links -
 //
 // With -stream the command runs the concurrent engine instead of a
 // one-shot fit: the first -history bins seed the model, the remaining
@@ -30,6 +38,9 @@
 //	             OD-flow identification (-escalation immediate,
 //	             confirm:<n>, or always); steady-state cost is the
 //	             forecast recursion, alarms carry flows
+//	sketch       Frequent-Directions sketched covariance (-sketch-size
+//	             rows, 0 = 4x rank; -drift-tol rebuild gate): O(l x m)
+//	             memory and the cheapest refit, for wide deployments
 //
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -refit 288 -detector incremental -lambda 0.999
@@ -50,12 +61,24 @@
 //
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -burst 4096 -max-pending 64 -overload dropoldest -autoscale 1:4
+//
+// With -listen the command becomes a small live analyzer: the whole
+// -links matrix seeds the model, then binary streams are accepted on
+// the TCP address and ingested through the pooled zero-allocation
+// path, alarms printing as they are raised. It exits after -conns
+// connections (default 1 — diagnose stays a one-shot tool; run
+// cmd/ingestd to serve indefinitely).
+//
+//	diagnose -links week.bin -listen 127.0.0.1:7600 -detector sketch
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -66,14 +89,15 @@ import (
 
 func main() {
 	topoName := flag.String("topology", "abilene", "abilene, sprint, or synthetic:<pops>:<edges>:<seed>")
-	linksPath := flag.String("links", "links.csv", "link-load matrix CSV")
+	linksPath := flag.String("links", "links.csv", "link-load matrix, CSV or binary (sniffed; - for stdin)")
 	confidence := flag.Float64("confidence", 0.999, "detection confidence level")
 	rank := flag.Int("rank", 0, "fixed normal-subspace rank (0 = 3-sigma rule)")
 	stream := flag.Bool("stream", false, "stream bins through the concurrent engine instead of a one-shot fit")
 	historyBins := flag.Int("history", 1008, "streaming: bins that seed the model (the paper's week is 1008)")
 	batchSize := flag.Int("batch", 64, "streaming: bins per dispatched batch")
 	refitEvery := flag.Int("refit", 0, "streaming: background-refit interval in bins (0 = never)")
-	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, multiflow, ewma, holtwinters, fourier, or hybrid")
+	detector := flag.String("detector", "subspace", "streaming backend: subspace, incremental, multiscale, multiflow, ewma, holtwinters, fourier, hybrid, or sketch")
+	sketchSize := flag.Int("sketch-size", 0, "sketch: Frequent-Directions rows (0 = 4x model rank)")
 	lambda := flag.Float64("lambda", 1, "incremental: covariance forgetting factor in (0,1]")
 	driftTol := flag.Float64("drift-tol", 0, "incremental: min residual-projector drift before a rebuild swaps in (0 = always)")
 	levels := flag.Int("levels", 3, "multiscale: wavelet depth")
@@ -88,13 +112,15 @@ func main() {
 	overload := flag.String("overload", "block", "streaming: full-queue policy — block, dropoldest, or error")
 	autoscale := flag.String("autoscale", "", "streaming: elastic worker pool as min:max (empty = fixed pool)")
 	burst := flag.Int("burst", 0, "streaming: ingest the stream in bursts of this many bins at once instead of replaying it bin by bin (stress mode; pair with -max-pending)")
+	listen := flag.String("listen", "", "accept binary streams on this TCP address instead of replaying the tail of -links (seeds on the whole matrix)")
+	conns := flag.Int("conns", 1, "listen mode: exit after this many connections")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
 	if err != nil {
 		fatal(err)
 	}
-	links, _, err := netanomaly.LoadMatrixCSV(*linksPath)
+	links, err := loadLinks(*linksPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,6 +141,7 @@ func main() {
 			thresholdK: *thresholdK,
 			triage:     netanomaly.DetectorKind(*triage),
 			escalation: *escalation,
+			sketchSize: *sketchSize,
 			maxPending: *maxPending,
 			burst:      *burst,
 		}
@@ -134,8 +161,24 @@ func main() {
 		runStream(topo, links, sc, opts)
 		return
 	}
+	if *listen != "" {
+		sc := streamConfig{
+			batch:      *batchSize,
+			refitEvery: *refitEvery,
+			kind:       netanomaly.DetectorKind(*detector),
+			lambda:     *lambda,
+			driftTol:   *driftTol,
+			sketchSize: *sketchSize,
+			maxPending: *maxPending,
+		}
+		if sc.overload, err = netanomaly.ParseOverloadPolicy(*overload); err != nil {
+			fatal(err)
+		}
+		runListen(topo, links, sc, opts, *listen, *conns)
+		return
+	}
 	if *detector != string(netanomaly.DetectorSubspace) {
-		fatal(fmt.Errorf("-detector %s needs -stream; the one-shot fit is always the subspace method", *detector))
+		fatal(fmt.Errorf("-detector %s needs -stream or -listen; the one-shot fit is always the subspace method", *detector))
 	}
 	diag, err := netanomaly.NewDiagnoser(links, topo, opts)
 	if err != nil {
@@ -171,6 +214,7 @@ type streamConfig struct {
 	thresholdK                 float64
 	triage                     netanomaly.DetectorKind
 	escalation                 string
+	sketchSize                 int
 	maxPending                 int
 	overload                   netanomaly.OverloadPolicy
 	autoscale                  bool
@@ -217,6 +261,8 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	switch sc.kind {
 	case netanomaly.DetectorIncremental:
 		viewOpts = append(viewOpts, netanomaly.WithLambda(sc.lambda), netanomaly.WithDriftTolerance(sc.driftTol))
+	case netanomaly.DetectorSketch:
+		viewOpts = append(viewOpts, netanomaly.WithSketchSize(sc.sketchSize), netanomaly.WithDriftTolerance(sc.driftTol))
 	case netanomaly.DetectorMultiscale:
 		viewOpts = append(viewOpts, netanomaly.WithLevels(sc.levels))
 	case netanomaly.DetectorMultiFlow:
@@ -251,9 +297,9 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 			defer alarmMu.Unlock()
 			alarms++
 			// Seq counts from the first streamed bin; print absolute
-			// bins. (Bins dropped by the overload policy are never
-			// assigned a Seq, so after drops the printed bin of a later
-			// alarm undercounts its true stream position.)
+			// bins. Bins dropped by the overload policy raise no alarms
+			// but still advance Seq, so the printed bin is the alarm's
+			// true stream position even after drops.
 			printAlarm(topo, sc.history+a.Seq, a.Diagnosis)
 		},
 	}, monOpts...)
@@ -326,6 +372,98 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	if failed {
 		// Scripted callers check the exit code; an aborted or
 		// error-laden run must not look like a clean, anomaly-free pass.
+		os.Exit(1)
+	}
+}
+
+// loadLinks reads the link matrix from a file or stdin, sniffing the
+// encoding from the binary format's magic bytes.
+func loadLinks(path string) (*netanomaly.Matrix, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == "NAMB" {
+		return netanomaly.ReadMatrixBinary(bytes.NewReader(data))
+	}
+	m, _, err := netanomaly.ReadMatrixCSV(bytes.NewReader(data))
+	return m, err
+}
+
+// runListen seeds a shard on the whole loaded matrix and ingests
+// binary streams from TCP connections through the pooled path,
+// printing alarms live — the analyzer end of a trafficgen/collector
+// pipe, exiting after a fixed number of connections.
+func runListen(topo *netanomaly.Topology, history *netanomaly.Matrix, sc streamConfig, opts netanomaly.Options, addr string, conns int) {
+	if conns <= 0 {
+		fatal(fmt.Errorf("listen mode: -conns must be positive, got %d", conns))
+	}
+	var alarmMu sync.Mutex
+	alarms := 0
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
+		BatchSize:  sc.batch,
+		RefitEvery: sc.refitEvery,
+		Options:    opts,
+		OnAlarm: func(a netanomaly.MonitorAlarm) {
+			alarmMu.Lock()
+			defer alarmMu.Unlock()
+			alarms++
+			printAlarm(topo, a.Seq, a.Diagnosis)
+		},
+	}, netanomaly.WithMaxPending(sc.maxPending), netanomaly.WithOverloadPolicy(sc.overload))
+	viewOpts := []netanomaly.ViewOption{netanomaly.WithDetector(sc.kind)}
+	switch sc.kind {
+	case netanomaly.DetectorIncremental:
+		viewOpts = append(viewOpts, netanomaly.WithLambda(sc.lambda), netanomaly.WithDriftTolerance(sc.driftTol))
+	case netanomaly.DetectorSketch:
+		viewOpts = append(viewOpts, netanomaly.WithSketchSize(sc.sketchSize), netanomaly.WithDriftTolerance(sc.driftTol))
+	}
+	const view = "live"
+	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
+		fatal(err)
+	}
+	stats, err := mon.ViewStats(view)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("listening on %s: %s model seeded on %d bins (%d links, rank %d), %d connection(s) then exit\n",
+		ln.Addr(), stats.Backend, history.Rows(), stats.Links, stats.Rank, conns)
+	printHeader()
+	failed := false
+	for c := 0; c < conns; c++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		dec, err := netanomaly.NewBinaryDecoder(conn)
+		if err == nil {
+			err = mon.IngestBinary(view, dec)
+		}
+		conn.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagnose:", err)
+			failed = true
+		}
+	}
+	mon.Close()
+	for _, err := range mon.Errs() {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		failed = true
+	}
+	vs, _ := mon.ViewStats(view)
+	fmt.Printf("%d alarms over %d streamed bins\n", alarms, vs.Processed)
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,267 @@
+// Command ingestd is the network-facing ingest server: it seeds a
+// streaming Monitor shard from a history file, then accepts the binary
+// wire format (see the "Binary ingest" section of the README) over TCP
+// connections, a unix socket, and/or stdin, fanning every stream into
+// the shard and printing alarms as workers raise them. Decoding goes
+// through the pooled zero-allocation path (Monitor.IngestBinary), so
+// steady-state ingest does not allocate per bin.
+//
+// Each connection is one binary stream: header, then frames until the
+// peer closes. Streams from concurrent connections interleave at batch
+// granularity into the same view; sequence numbers count from the first
+// bin the server ingests. The server exits on SIGINT/SIGTERM, after
+// -conns connections when set, or when stdin drains under -stdin with
+// no listeners configured.
+//
+//	trafficgen -bins 1008 -format binary -links week.bin
+//	trafficgen -bins 288 -format binary -links - -anomaly 24,60,9e7 |
+//	    ingestd -history week.bin -stdin -listen ""
+//	ingestd -history week.bin -listen 127.0.0.1:7600 -socket /tmp/na.sock \
+//	    -detector sketch -sketch-size 16
+//
+// The history file may be CSV (as written by trafficgen) or binary;
+// the format is sniffed from the leading magic bytes. -detector
+// selects the shard backend (subspace, incremental, or sketch — the
+// kinds that identify OD flows from plain link loads).
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"netanomaly"
+)
+
+func main() {
+	topoName := flag.String("topology", "abilene", "abilene, sprint, or synthetic:<pops>:<edges>:<seed>")
+	historyPath := flag.String("history", "", "link-load matrix that seeds the model (CSV or binary, sniffed; required)")
+	listenAddr := flag.String("listen", "127.0.0.1:7600", "TCP listen address (empty to disable)")
+	socketPath := flag.String("socket", "", "unix socket path (empty to disable)")
+	useStdin := flag.Bool("stdin", false, "also ingest one binary stream from stdin")
+	conns := flag.Int("conns", 0, "exit after this many connections (0 = serve until signalled)")
+	detector := flag.String("detector", "subspace", "shard backend: subspace, incremental, or sketch")
+	sketchSize := flag.Int("sketch-size", 0, "sketch: Frequent-Directions rows (0 = 4x model rank)")
+	lambda := flag.Float64("lambda", 1, "incremental: covariance forgetting factor in (0,1]")
+	driftTol := flag.Float64("drift-tol", 0, "incremental/sketch: min residual drift before a rebuild swaps in")
+	confidence := flag.Float64("confidence", 0.999, "detection confidence level")
+	rank := flag.Int("rank", 0, "fixed normal-subspace rank (0 = 3-sigma rule)")
+	batchSize := flag.Int("batch", 64, "bins per dispatched batch")
+	refitEvery := flag.Int("refit", 0, "background-refit interval in bins (0 = never)")
+	maxPending := flag.Int("max-pending", 0, "bound on queued unprocessed bins (0 = unbounded)")
+	overload := flag.String("overload", "block", "full-queue policy: block, dropoldest, or error")
+	flag.Parse()
+
+	if *historyPath == "" {
+		fatal(errors.New("-history is required: the model must be seeded before streams arrive"))
+	}
+	if *listenAddr == "" && *socketPath == "" && !*useStdin {
+		fatal(errors.New("nothing to ingest: set -listen, -socket, or -stdin"))
+	}
+	topo, err := parseTopology(*topoName)
+	if err != nil {
+		fatal(err)
+	}
+	history, err := loadMatrixSniffed(*historyPath)
+	if err != nil {
+		fatal(err)
+	}
+	kind := netanomaly.DetectorKind(*detector)
+	viewOpts := []netanomaly.ViewOption{netanomaly.WithDetector(kind)}
+	switch kind {
+	case netanomaly.DetectorSubspace:
+	case netanomaly.DetectorIncremental:
+		viewOpts = append(viewOpts, netanomaly.WithLambda(*lambda), netanomaly.WithDriftTolerance(*driftTol))
+	case netanomaly.DetectorSketch:
+		viewOpts = append(viewOpts, netanomaly.WithSketchSize(*sketchSize), netanomaly.WithDriftTolerance(*driftTol))
+	default:
+		fatal(fmt.Errorf("ingestd serves plain link loads; -detector %q is not one of subspace, incremental, sketch", kind))
+	}
+	policy, err := netanomaly.ParseOverloadPolicy(*overload)
+	if err != nil {
+		fatal(err)
+	}
+
+	var alarmMu sync.Mutex
+	alarms := 0
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
+		BatchSize:  *batchSize,
+		RefitEvery: *refitEvery,
+		Options:    netanomaly.Options{Confidence: *confidence, Rank: *rank},
+		OnAlarm: func(a netanomaly.MonitorAlarm) {
+			alarmMu.Lock()
+			defer alarmMu.Unlock()
+			alarms++
+			flow := "-"
+			if a.Flow >= 0 {
+				flow = topo.FlowName(a.Flow)
+			}
+			fmt.Printf("alarm bin %d: SPE %.4g > %.4g, flow %s, %.4g bytes\n",
+				a.Seq, a.SPE, a.Threshold, flow, a.Bytes)
+		},
+	}, netanomaly.WithMaxPending(*maxPending), netanomaly.WithOverloadPolicy(policy))
+	const view = "net"
+	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
+		fatal(err)
+	}
+	stats, err := mon.ViewStats(view)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ingestd: %s model seeded on %d bins (%s: %d links, rank %d)\n",
+		stats.Backend, history.Rows(), topo.Name(), stats.Links, stats.Rank)
+
+	// Every stream source funnels into serve; the WaitGroup holds the
+	// final stats back until in-flight connections finish.
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	serve := func(name string, r io.Reader) {
+		defer wg.Done()
+		dec, err := netanomaly.NewBinaryDecoder(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingestd: %s: %v\n", name, err)
+			return
+		}
+		before, _ := mon.QueueStats(view)
+		if err := mon.IngestBinary(view, dec); err != nil {
+			fmt.Fprintf(os.Stderr, "ingestd: %s: %v\n", name, err)
+			return
+		}
+		after, _ := mon.QueueStats(view)
+		fmt.Printf("ingestd: %s: stream done, %d bins enqueued\n", name, after.EnqueuedBins-before.EnqueuedBins)
+	}
+
+	// done closes when the configured connection budget is spent; the
+	// signal handler below closes the listeners either way.
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	finish := func() { doneOnce.Do(func() { close(done) }) }
+	connDone := func() {
+		if n := served.Add(1); *conns > 0 && n >= int64(*conns) {
+			finish()
+		}
+	}
+
+	var listeners []net.Listener
+	addListener := func(network, addr string) {
+		ln, err := net.Listen(network, addr)
+		if err != nil {
+			fatal(err)
+		}
+		listeners = append(listeners, ln)
+		fmt.Printf("ingestd: listening on %s %s\n", network, ln.Addr())
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return // listener closed on shutdown
+				}
+				wg.Add(1)
+				go func() {
+					defer conn.Close()
+					serve(conn.RemoteAddr().Network()+":"+conn.RemoteAddr().String(), conn)
+					connDone()
+				}()
+			}
+		}()
+	}
+	if *listenAddr != "" {
+		addListener("tcp", *listenAddr)
+	}
+	if *socketPath != "" {
+		os.Remove(*socketPath) // a stale socket from a previous run blocks bind
+		addListener("unix", *socketPath)
+	}
+	if *useStdin {
+		wg.Add(1)
+		go func() {
+			serve("stdin", os.Stdin)
+			connDone()
+			if len(listeners) == 0 && *conns == 0 {
+				// Pipe mode: nothing else can ever arrive.
+				finish()
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("ingestd: signal received, draining")
+	case <-done:
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	if *socketPath != "" {
+		os.Remove(*socketPath)
+	}
+	wg.Wait()
+	mon.Close()
+	failed := false
+	for _, err := range mon.Errs() {
+		fmt.Fprintln(os.Stderr, "ingestd:", err)
+		failed = true
+	}
+	vs, err := mon.ViewStats(view)
+	if err != nil {
+		fatal(err)
+	}
+	ms := mon.Stats()
+	fmt.Printf("ingestd: %d streams, %d bins processed, %d alarms, %d refits; dropped %d bins, rejected %d\n",
+		served.Load(), vs.Processed, alarms, vs.Refits, ms.DroppedBins, ms.RejectedBins)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadMatrixSniffed reads a link matrix in either supported encoding,
+// deciding by the binary magic bytes rather than a flag or extension.
+func loadMatrixSniffed(path string) (*netanomaly.Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == "NAMB" {
+		return netanomaly.ReadMatrixBinary(bytes.NewReader(data))
+	}
+	m, _, err := netanomaly.ReadMatrixCSV(bytes.NewReader(data))
+	return m, err
+}
+
+func parseTopology(name string) (*netanomaly.Topology, error) {
+	switch {
+	case name == "abilene":
+		return netanomaly.Abilene(), nil
+	case name == "sprint":
+		return netanomaly.SprintEurope(), nil
+	case strings.HasPrefix(name, "synthetic:"):
+		parts := strings.Split(name, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("synthetic topology: want synthetic:<pops>:<edges>:<seed>")
+		}
+		var pops, edges int
+		var seed int64
+		if _, err := fmt.Sscanf(parts[1]+" "+parts[2]+" "+parts[3], "%d %d %d", &pops, &edges, &seed); err != nil {
+			return nil, fmt.Errorf("synthetic topology %q: %w", name, err)
+		}
+		return netanomaly.SyntheticTopology(pops, edges, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ingestd:", err)
+	os.Exit(1)
+}

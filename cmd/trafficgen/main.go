@@ -1,16 +1,24 @@
 // Command trafficgen generates a synthetic network-wide traffic dataset
-// and writes the OD-flow and link-load matrices as CSV, optionally with
+// and writes the OD-flow and link-load matrices, optionally with
 // injected volume anomalies (one "flow,bin,delta" triple per -anomaly
-// flag). The link CSV is the input cmd/diagnose consumes; the OD CSV is
-// ground truth for validation.
+// flag). The link matrix is the input cmd/diagnose and cmd/ingestd
+// consume; the OD CSV is ground truth for validation.
 //
 // With -metrics the link CSV additionally carries the Section 7.2
 // metric series (IP-flow counts and mean packet size) column-stacked
 // after the byte counts — the input cmd/diagnose consumes with
 // -detector multiflow.
 //
+// -format selects the link matrix encoding: csv (default) or binary,
+// the compact wire format cmd/ingestd and diagnose -format binary
+// consume (no column names; the topology defines the link order).
+// With -links - the link matrix goes to stdout and the banners to
+// stderr, so a generator can feed an ingest server with no file in
+// between:
+//
 //	trafficgen -topology abilene -seed 42 -bins 1008 \
 //	    -anomaly 24,500,9e7 -od od.csv -links links.csv
+//	trafficgen -format binary -links - | ingestd -stdin -history week.bin
 package main
 
 import (
@@ -55,7 +63,8 @@ func main() {
 	bins := flag.Int("bins", 1008, "number of 10-minute bins")
 	total := flag.Float64("total", 0, "network-wide mean bytes per bin (0 = default)")
 	odPath := flag.String("od", "", "write OD-flow matrix CSV here (optional)")
-	linksPath := flag.String("links", "links.csv", "write link-load matrix CSV here")
+	linksPath := flag.String("links", "links.csv", "write link-load matrix here (- for stdout)")
+	format := flag.String("format", "csv", "link matrix encoding: csv or binary")
 	withMetrics := flag.Bool("metrics", false, "stack flow-count and packet-size metrics after the byte columns (for diagnose -detector multiflow)")
 	flag.Var(&anomalies, "anomaly", "inject flow,bin,delta (repeatable)")
 	flag.Parse()
@@ -87,6 +96,12 @@ func main() {
 		metricNote = " x 3 metrics (bytes, flows, pktsize)"
 	}
 
+	// With the link matrix on stdout the banners move to stderr, so a
+	// pipe into ingestd carries only the measurement stream.
+	banner := os.Stdout
+	if *linksPath == "-" {
+		banner = os.Stderr
+	}
 	if *odPath != "" {
 		names := make([]string, topo.NumFlows())
 		for f := range names {
@@ -95,7 +110,7 @@ func main() {
 		if err := netanomaly.SaveMatrixCSV(*odPath, od, names); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d x %d OD matrix to %s\n", *bins, topo.NumFlows(), *odPath)
+		fmt.Fprintf(banner, "wrote %d x %d OD matrix to %s\n", *bins, topo.NumFlows(), *odPath)
 	}
 	linkNames := make([]string, topo.NumLinks())
 	pops := topo.PoPs()
@@ -111,16 +126,32 @@ func main() {
 		}
 		linkNames = stacked
 	}
-	if err := netanomaly.SaveMatrixCSV(*linksPath, links, linkNames); err != nil {
+	switch *format {
+	case "csv":
+		if *linksPath == "-" {
+			err = netanomaly.WriteMatrixCSV(os.Stdout, links, linkNames)
+		} else {
+			err = netanomaly.SaveMatrixCSV(*linksPath, links, linkNames)
+		}
+	case "binary":
+		if *linksPath == "-" {
+			err = netanomaly.WriteMatrixBinary(os.Stdout, links)
+		} else {
+			err = netanomaly.SaveMatrixBinary(*linksPath, links)
+		}
+	default:
+		err = fmt.Errorf("unknown -format %q: want csv or binary", *format)
+	}
+	if err != nil {
 		fatal(err)
 	}
 	// The seed is echoed so a logged run can be regenerated bin for bin:
 	// generation is deterministic in -seed (pinned by
 	// internal/traffic's reproducibility tests).
-	fmt.Printf("wrote %d x %d link matrix%s to %s (%s: %d PoPs, %d links, %d flows; seed %d)\n",
-		*bins, topo.NumLinks(), metricNote, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows(), *seed)
+	fmt.Fprintf(banner, "wrote %d x %d link matrix%s (%s) to %s (%s: %d PoPs, %d links, %d flows; seed %d)\n",
+		*bins, topo.NumLinks(), metricNote, *format, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows(), *seed)
 	for _, a := range anomalies {
-		fmt.Printf("injected %.3g bytes into flow %s at bin %d\n", a.Delta, topo.FlowName(a.Flow), a.Bin)
+		fmt.Fprintf(banner, "injected %.3g bytes into flow %s at bin %d\n", a.Delta, topo.FlowName(a.Flow), a.Bin)
 	}
 }
 

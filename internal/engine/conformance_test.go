@@ -39,10 +39,10 @@ const (
 	confSpikeBin    = 60
 )
 
-// conformanceFixtures builds all eight backends over one synthetic
-// Abilene trace (shared OD matrix, shared routing): the four subspace
-// family members, the three forecast baselines, and the hybrid
-// triage→identification composition.
+// conformanceFixtures builds all nine backends over one synthetic
+// Abilene trace (shared OD matrix, shared routing): the five subspace
+// family members (including the Frequent-Directions sketch), the three
+// forecast baselines, and the hybrid triage→identification composition.
 func conformanceFixtures(t *testing.T, seed int64) []backendFixture {
 	t.Helper()
 	topo := topology.Abilene()
@@ -89,9 +89,14 @@ func conformanceFixtures(t *testing.T, seed int64) []backendFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sketch, err := core.NewSketchDetector(history, routing, core.SketchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fixtures := []backendFixture{
 		{"subspace", subspace, history, stream, confSpikeBin, confSpikeBin},
 		{"incremental", incremental, history, stream, confSpikeBin, confSpikeBin},
+		{"sketch", sketch, history, stream, confSpikeBin, confSpikeBin},
 		{"multiscale", multiscale, history, stream, confSpikeBin - 3, confSpikeBin},
 		{"multiflow", multiflow, stackedHistory, stackedStream, confSpikeBin, confSpikeBin},
 	}

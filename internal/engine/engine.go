@@ -30,6 +30,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -59,10 +60,12 @@ const (
 	// one fits, preferring fresh data under sustained overload — the
 	// right policy for live monitoring, where a stale bin's alarm is
 	// worth less than keeping up with the present. Dropped bins are
-	// never processed: they raise no alarms and are not assigned
-	// sequence numbers (Seq counts processed bins, so after a drop the
-	// per-view Seq no longer equals the stream offset). Drops are
-	// counted in QueueStats.
+	// never processed and raise no alarms, but they keep their place in
+	// the stream's numbering: every queued chunk is tagged with the
+	// stream offset of its first accepted bin, and alarm Seq/Bin are
+	// rebased to that offset at processing time, so an alarm's Seq is
+	// the bin's true position among the bins the view accepted even
+	// after drops. Drops are counted in QueueStats.
 	OverloadDropOldest
 	// OverloadError rejects the batch: Ingest stops enqueueing and
 	// returns ErrOverloaded, leaving already-queued work untouched.
@@ -280,6 +283,21 @@ type Stats struct {
 	RejectedBins   int64
 }
 
+// releaser is the slice of the pooled-buffer contract the queue needs:
+// whoever consumes or evicts a queued chunk backed by a recycled buffer
+// returns the buffer with exactly one Release call.
+type releaser interface{ Release() }
+
+// queued is one admitted chunk: its bins, the stream offset of its
+// first bin among everything the view has accepted (drops included),
+// and the pooled buffer to release once the chunk is processed or
+// evicted (nil for caller-owned batches).
+type queued struct {
+	m    *mat.Dense
+	base int64
+	rel  releaser
+}
+
 // shard is one view's detector, its FIFO of queued batches, and its
 // deferred-error log. A shard's batches are processed strictly in queue
 // order by whichever worker owns the shard at the moment, so per-view
@@ -301,7 +319,7 @@ type shard struct {
 
 	qmu        sync.Mutex
 	space      *sync.Cond // signaled when queued bins shrink; Block-policy waiters sleep here
-	queue      []*mat.Dense
+	queue      []queued
 	queuedBins int
 	owned      bool // a worker currently holds this shard
 
@@ -487,9 +505,9 @@ func (m *Monitor) worker() {
 		// keep the batch reachable through its backing array, leaking
 		// processed (and under DropOldest, evicted) batches past the
 		// documented per-view memory bound.
-		s.queue[0] = nil
+		s.queue[0] = queued{}
 		s.queue = s.queue[1:]
-		s.queuedBins -= batch.Rows()
+		s.queuedBins -= batch.m.Rows()
 		// Space opened up: wake Block-policy producers.
 		s.space.Broadcast()
 		s.qmu.Unlock()
@@ -500,8 +518,12 @@ func (m *Monitor) worker() {
 			start = m.cfg.now()
 		}
 		s.procMu.Lock()
-		alarms, err := s.det.ProcessBatch(batch)
+		processedBefore := s.det.Stats().Processed
+		alarms, err := s.det.ProcessBatch(batch.m)
 		s.procMu.Unlock()
+		if batch.rel != nil {
+			batch.rel.Release()
+		}
 		if measure {
 			elapsed := m.cfg.now().Sub(start)
 			m.latMu.Lock()
@@ -511,6 +533,16 @@ func (m *Monitor) worker() {
 		}
 		if err != nil {
 			s.recordErr(err)
+		}
+		// Rebase alarm numbering onto the ingest stream: the detector
+		// numbers only the bins it saw, so after DropOldest evictions
+		// its Seq undercounts the true stream offset by the bins
+		// dropped so far. The chunk's tagged base restores them.
+		if delta := int(batch.base) - processedBefore; delta > 0 {
+			for i := range alarms {
+				alarms[i].Seq += delta
+				alarms[i].Bin += delta
+			}
 		}
 		for _, a := range alarms {
 			m.emit(Alarm{View: s.name, Alarm: a})
@@ -643,7 +675,11 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 	if m.cfg.MaxPending <= 0 {
 		m.addPending(len(chunks))
 		s.qmu.Lock()
-		s.queue = append(s.queue, chunks...)
+		base := s.enqueuedBins
+		for _, c := range chunks {
+			s.queue = append(s.queue, queued{m: c, base: base})
+			base += int64(c.Rows())
+		}
 		s.queuedBins += bins
 		s.enqueuedBins += int64(bins)
 		wake := !s.owned
@@ -657,7 +693,7 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 		return nil
 	}
 	for ci, chunk := range chunks {
-		if err := m.enqueue(s, chunk); err != nil {
+		if err := m.enqueue(s, chunk, nil); err != nil {
 			rejected := bins - ci*m.cfg.BatchSize
 			s.qmu.Lock()
 			s.rejectedBins += int64(rejected)
@@ -671,8 +707,10 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 // enqueue admits one chunk to the shard's queue under the overload
 // policy and wakes a worker. A chunk is admitted when it fits under
 // MaxPending or the queue is empty (so an oversized chunk passes alone
-// instead of wedging).
-func (m *Monitor) enqueue(s *shard, chunk *mat.Dense) error {
+// instead of wedging). rel, when non-nil, is the pooled buffer backing
+// the chunk; ownership transfers to the queue on success (released by
+// the worker after processing, or here on eviction).
+func (m *Monitor) enqueue(s *shard, chunk *mat.Dense, rel releaser) error {
 	chunkBins := chunk.Rows()
 	m.addPending(1)
 	s.qmu.Lock()
@@ -685,11 +723,14 @@ func (m *Monitor) enqueue(s *shard, chunk *mat.Dense) error {
 		case OverloadDropOldest:
 			for len(s.queue) > 0 && s.queuedBins+chunkBins > max {
 				old := s.queue[0]
-				s.queue[0] = nil // release the evicted batch to the GC
+				s.queue[0] = queued{} // release the evicted batch to the GC
 				s.queue = s.queue[1:]
-				s.queuedBins -= old.Rows()
-				s.droppedBins += int64(old.Rows())
+				s.queuedBins -= old.m.Rows()
+				s.droppedBins += int64(old.m.Rows())
 				s.droppedBatches++
+				if old.rel != nil {
+					old.rel.Release()
+				}
 				m.donePending()
 			}
 		case OverloadError:
@@ -700,7 +741,7 @@ func (m *Monitor) enqueue(s *shard, chunk *mat.Dense) error {
 			}
 		}
 	}
-	s.queue = append(s.queue, chunk)
+	s.queue = append(s.queue, queued{m: chunk, base: s.enqueuedBins, rel: rel})
 	s.queuedBins += chunkBins
 	s.enqueuedBins += int64(chunkBins)
 	wake := !s.owned
@@ -768,6 +809,74 @@ func (m *Monitor) IngestStream(view string, ch <-chan netmeas.LinkMeasurement) e
 		}
 	}
 	return flush()
+}
+
+// IngestBinary feeds a whole binary measurement stream (as framed by
+// netmeas.WriteMatrixBinary / cmd/trafficgen -format=binary) into the
+// view, decoding directly into pooled batch buffers: at steady state
+// the hot loop performs no per-bin heap allocation — buffers cycle
+// between the decoder and the consuming shard through a sync.Pool. It
+// blocks for the life of the stream (run one goroutine per source,
+// like IngestStream) and returns after the final partial batch is
+// queued, on the first decode error, or when the monitor is closed
+// mid-stream. Like Ingest, it queues work asynchronously: call Flush
+// to wait for processing.
+func (m *Monitor) IngestBinary(view string, dec *netmeas.BinaryDecoder) error {
+	m.ingestMu.RLock()
+	s, err := m.lookup(view)
+	m.ingestMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if dec.Links() != s.links {
+		return fmt.Errorf("engine: view %q: binary stream has %d links, want %d", view, dec.Links(), s.links)
+	}
+	return m.ingestBinaryPooled(s, dec, netmeas.NewFrameBatchPool(m.cfg.BatchSize, s.links))
+}
+
+// ingestBinaryPooled is IngestBinary's loop with an injectable pool so
+// lifecycle tests can count Get/Release pairs. Buffer ownership is
+// release-exactly-once: a batch admitted to the queue is released by
+// the worker that processes it or by the DropOldest eviction path; a
+// batch that never makes it into the queue (decode returned no rows,
+// admission failed, monitor closed) is released here.
+func (m *Monitor) ingestBinaryPooled(s *shard, dec *netmeas.BinaryDecoder, pool *netmeas.FrameBatchPool) error {
+	for {
+		fb := pool.Get()
+		rows, derr := dec.ReadBatch(fb)
+		if rows == 0 {
+			fb.Release()
+			if derr == nil || derr == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("engine: view %q: %w", s.name, derr)
+		}
+		chunk := fb.Rows(rows)
+		// Re-check closed per chunk under ingestMu, mirroring the
+		// Ingest-per-flush pattern of IngestStream: a batch is either
+		// fully enqueued before Close starts draining or refused here.
+		m.ingestMu.RLock()
+		m.mu.Lock()
+		closed := m.closed
+		m.mu.Unlock()
+		var qerr error
+		if closed {
+			qerr = errors.New("monitor is closed")
+		} else {
+			qerr = m.enqueue(s, chunk, fb)
+		}
+		m.ingestMu.RUnlock()
+		if qerr != nil {
+			fb.Release()
+			return fmt.Errorf("engine: view %q: %w", s.name, qerr)
+		}
+		if derr != nil {
+			if derr == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("engine: view %q: %w", s.name, derr)
+		}
+	}
 }
 
 // ProcessBatch runs a batch through the view's shard synchronously on

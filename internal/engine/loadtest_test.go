@@ -687,3 +687,80 @@ func TestLoadOversizedChunkAdmittedAlone(t *testing.T) {
 		})
 	}
 }
+
+// TestLoadDropAwareSeq pins the drop-aware Seq contract: under
+// OverloadDropOldest an alarm's Seq must be the bin's true offset in
+// the ingest stream, not the detector's post-drop processing count.
+// Column-0 markers carry each bin's stream offset, and the alarmAll
+// detector echoes the marker in SPE, so Seq == SPE is checkable
+// alarm-for-alarm.
+func TestLoadDropAwareSeq(t *testing.T) {
+	const links = 4
+	det := &loadDetector{links: links, gate: make(chan struct{}), alarmAll: true}
+	m := NewMonitor(Config{
+		Workers:    1,
+		BatchSize:  4,
+		MaxPending: 8,
+		Overload:   OverloadDropOldest,
+	})
+	defer m.Close()
+	if err := m.AddDetectorView("v", det); err != nil {
+		t.Fatal(err)
+	}
+
+	// First batch: the worker dequeues it and parks on the gate, so the
+	// queue is empty but the shard is busy for the rest of the script.
+	if err := m.Ingest("v", markerBatch(0, 4, links)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "worker to take the first batch", func() bool {
+		qs, err := m.QueueStats("v")
+		return err == nil && qs.QueuedBins == 0
+	})
+
+	// Fill the queue (8 bins), then push two more batches: each evicts
+	// the oldest queued batch. Bins 4..11 are dropped, 12..19 survive.
+	for _, start := range []int{4, 8, 12, 16} {
+		if err := m.Ingest("v", markerBatch(start, 4, links)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs, err := m.QueueStats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.DroppedBins != 8 {
+		t.Fatalf("dropped %d bins, want 8", qs.DroppedBins)
+	}
+
+	close(det.gate)
+	m.Flush()
+
+	want := []float64{0, 1, 2, 3, 12, 13, 14, 15, 16, 17, 18, 19}
+	got := det.seenMarkers()
+	if len(got) != len(want) {
+		t.Fatalf("processed markers %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("processed markers %v, want %v", got, want)
+		}
+	}
+
+	alarms := m.TakeAlarms()
+	if len(alarms) != len(want) {
+		t.Fatalf("got %d alarms, want %d", len(alarms), len(want))
+	}
+	seen := make(map[int]bool)
+	for _, a := range alarms {
+		if a.Seq != int(a.SPE) {
+			t.Fatalf("alarm for stream bin %v reports Seq %d (post-drop queue position?)", a.SPE, a.Seq)
+		}
+		seen[a.Seq] = true
+	}
+	for _, w := range want {
+		if !seen[int(w)] {
+			t.Fatalf("no alarm with stream offset %v; alarms: %+v", w, alarms)
+		}
+	}
+}

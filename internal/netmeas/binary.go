@@ -1,0 +1,334 @@
+package netmeas
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"netanomaly/internal/mat"
+)
+
+// Binary wire format for link-load streams. The format replaces CSV on
+// the hot ingest path: a frame decodes with two reads and no parsing,
+// field widths are fixed, and the decoder can deserialize straight into
+// reused buffers — zero heap allocation per bin at steady state.
+//
+// Layout (all integers little-endian):
+//
+//	header  (12 bytes)  "NAMB" | version (1 byte) | 3 reserved zero bytes | uint32 link count
+//	frame   (4+8m bytes) uint32 payload length (must equal 8*links) | links float64 loads
+//
+// One frame per time bin, frames in stream order, no trailer: a clean
+// EOF at a frame boundary ends the stream. Non-finite loads are rejected
+// on both sides of the wire.
+
+const (
+	binaryMagic = "NAMB"
+	// BinaryVersion is the wire-format version this package reads and
+	// writes.
+	BinaryVersion = 1
+	// MaxBinaryLinks caps the header's link count. The decoder sizes its
+	// frame buffer from the header, so the cap bounds what a corrupt or
+	// hostile stream can make it allocate.
+	MaxBinaryLinks = 1 << 20
+
+	binaryHeaderSize = 12
+)
+
+// ErrBinaryFormat is wrapped by every structural decode error (bad
+// magic, unsupported version, oversized link count, mismatched frame
+// length, non-finite load). Truncation errors wrap io.ErrUnexpectedEOF
+// instead, so a reader can distinguish "garbage" from "cut short".
+var ErrBinaryFormat = errors.New("malformed binary measurement stream")
+
+// BinaryEncoder writes the binary wire format. The stream header is
+// emitted by NewBinaryEncoder; WriteFrame then appends one frame per
+// bin, reusing an internal buffer so encoding does not allocate.
+type BinaryEncoder struct {
+	w     io.Writer
+	links int
+	buf   []byte
+}
+
+// NewBinaryEncoder writes the stream header for links-wide frames to w
+// and returns an encoder for the frames that follow.
+func NewBinaryEncoder(w io.Writer, links int) (*BinaryEncoder, error) {
+	if links <= 0 || links > MaxBinaryLinks {
+		return nil, fmt.Errorf("netmeas: binary encoder: link count %d out of range [1, %d]", links, MaxBinaryLinks)
+	}
+	var hdr [binaryHeaderSize]byte
+	copy(hdr[:4], binaryMagic)
+	hdr[4] = BinaryVersion
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(links))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("netmeas: binary encoder: writing header: %w", err)
+	}
+	return &BinaryEncoder{w: w, links: links, buf: make([]byte, 4+8*links)}, nil
+}
+
+// Links returns the per-frame link count fixed at construction.
+func (e *BinaryEncoder) Links() int { return e.links }
+
+// WriteFrame appends one bin of link loads as a frame.
+func (e *BinaryEncoder) WriteFrame(loads []float64) error {
+	if len(loads) != e.links {
+		return fmt.Errorf("netmeas: binary encoder: frame has %d links, want %d", len(loads), e.links)
+	}
+	binary.LittleEndian.PutUint32(e.buf[:4], uint32(8*e.links))
+	for j, v := range loads {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("netmeas: binary encoder: non-finite load %v at link %d: %w", v, j, ErrBinaryFormat)
+		}
+		binary.LittleEndian.PutUint64(e.buf[4+8*j:], math.Float64bits(v))
+	}
+	if _, err := e.w.Write(e.buf); err != nil {
+		return fmt.Errorf("netmeas: binary encoder: writing frame: %w", err)
+	}
+	return nil
+}
+
+// WriteMatrixBinary encodes a bins x links matrix as one binary stream,
+// one frame per row.
+func WriteMatrixBinary(w io.Writer, y *mat.Dense) error {
+	enc, err := NewBinaryEncoder(w, y.Cols())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < y.Rows(); i++ {
+		if err := enc.WriteFrame(y.RowView(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BinaryDecoder reads the binary wire format. The header is validated by
+// NewBinaryDecoder; ReadFrame and ReadBatch then decode frames into
+// caller-owned buffers without allocating.
+type BinaryDecoder struct {
+	r     *bufio.Reader
+	links int
+	raw   []byte // 4-byte length prefix + 8*links payload, reused per frame
+}
+
+// NewBinaryDecoder validates the stream header on r and returns a
+// decoder for the frames that follow. The link count is bounds-checked
+// before any length-proportional allocation happens.
+func NewBinaryDecoder(r io.Reader) (*BinaryDecoder, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	var hdr [binaryHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("netmeas: binary stream: truncated header: %w", io.ErrUnexpectedEOF)
+	}
+	if string(hdr[:4]) != binaryMagic {
+		return nil, fmt.Errorf("netmeas: binary stream: bad magic %q: %w", hdr[:4], ErrBinaryFormat)
+	}
+	if hdr[4] != BinaryVersion {
+		return nil, fmt.Errorf("netmeas: binary stream: unsupported version %d (want %d): %w", hdr[4], BinaryVersion, ErrBinaryFormat)
+	}
+	if hdr[5] != 0 || hdr[6] != 0 || hdr[7] != 0 {
+		return nil, fmt.Errorf("netmeas: binary stream: nonzero reserved bytes: %w", ErrBinaryFormat)
+	}
+	links := binary.LittleEndian.Uint32(hdr[8:12])
+	if links == 0 || links > MaxBinaryLinks {
+		return nil, fmt.Errorf("netmeas: binary stream: link count %d out of range [1, %d]: %w", links, MaxBinaryLinks, ErrBinaryFormat)
+	}
+	return &BinaryDecoder{r: br, links: int(links), raw: make([]byte, 4+8*int(links))}, nil
+}
+
+// Links returns the per-frame link count declared by the stream header.
+func (d *BinaryDecoder) Links() int { return d.links }
+
+// ReadFrame decodes the next frame into dst (len must equal Links). It
+// returns io.EOF at a clean end of stream, an io.ErrUnexpectedEOF-
+// wrapping error on truncation mid-frame, and an ErrBinaryFormat-
+// wrapping error on structural corruption. It does not allocate.
+func (d *BinaryDecoder) ReadFrame(dst []float64) error {
+	if len(dst) != d.links {
+		return fmt.Errorf("netmeas: binary stream: frame buffer has %d links, want %d", len(dst), d.links)
+	}
+	if _, err := io.ReadFull(d.r, d.raw[:4]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("netmeas: binary stream: truncated frame length: %w", io.ErrUnexpectedEOF)
+	}
+	if n := binary.LittleEndian.Uint32(d.raw[:4]); int64(n) != int64(8*d.links) {
+		return fmt.Errorf("netmeas: binary stream: frame length %d, want %d: %w", n, 8*d.links, ErrBinaryFormat)
+	}
+	payload := d.raw[4:]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return fmt.Errorf("netmeas: binary stream: truncated frame payload: %w", io.ErrUnexpectedEOF)
+	}
+	for j := range dst {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[8*j:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("netmeas: binary stream: non-finite load %v at link %d: %w", v, j, ErrBinaryFormat)
+		}
+		dst[j] = v
+	}
+	return nil
+}
+
+// ReadBatch fills fb with up to fb.Cap() frames and reports how many it
+// decoded. err is nil when the batch filled, io.EOF when the stream
+// ended cleanly (possibly with rows > 0 decoded first), and a decode
+// error otherwise; rows counts only fully decoded frames in every case.
+func (d *BinaryDecoder) ReadBatch(fb *FrameBatch) (rows int, err error) {
+	for rows < fb.Cap() {
+		if err := d.ReadFrame(fb.full.RowView(rows)); err != nil {
+			return rows, err
+		}
+		rows++
+	}
+	return rows, nil
+}
+
+// ReadMatrixBinary decodes an entire binary stream into a bins x links
+// matrix. The stream must hold at least one frame.
+func ReadMatrixBinary(r io.Reader) (*mat.Dense, error) {
+	dec, err := NewBinaryDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, dec.links)
+	var data []float64
+	rows := 0
+	for {
+		err := dec.ReadFrame(row)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		data = append(data, row...)
+		rows++
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("netmeas: binary stream: no frames: %w", ErrBinaryFormat)
+	}
+	return mat.NewDense(rows, dec.links, data), nil
+}
+
+// FrameBatchPool recycles fixed-shape FrameBatch buffers between a
+// binary decoder (which fills them) and the engine shard that consumes
+// them (which Releases them). Get and Release counts are exposed so
+// lifecycle tests can assert every buffer handed out came back exactly
+// once.
+type FrameBatchPool struct {
+	bins, links int
+	pool        sync.Pool
+	gets, puts  atomic.Int64
+}
+
+// NewFrameBatchPool returns a pool of bins x links batch buffers.
+func NewFrameBatchPool(bins, links int) *FrameBatchPool {
+	if bins <= 0 || links <= 0 {
+		panic(fmt.Sprintf("netmeas: invalid FrameBatchPool shape %dx%d", bins, links))
+	}
+	p := &FrameBatchPool{bins: bins, links: links}
+	p.pool.New = func() any {
+		return &FrameBatch{full: mat.Zeros(bins, links), pool: p}
+	}
+	return p
+}
+
+// Get returns a batch buffer, recycled when one is available. The
+// caller owns it until Release.
+func (p *FrameBatchPool) Get() *FrameBatch {
+	fb := p.pool.Get().(*FrameBatch)
+	fb.released.Store(false)
+	p.gets.Add(1)
+	return fb
+}
+
+// Counters reports lifetime Get and Release counts. After a stream has
+// fully quiesced (every consumer done), gets == puts means no buffer
+// leaked and none was double-returned (Release panics on the latter).
+func (p *FrameBatchPool) Counters() (gets, puts int64) {
+	return p.gets.Load(), p.puts.Load()
+}
+
+// FrameBatch is one pooled bins x links buffer. Exactly one Release per
+// Get: releasing twice panics, and a batch must not be touched after
+// Release (the pool will hand it to another Get).
+type FrameBatch struct {
+	full     *mat.Dense
+	pool     *FrameBatchPool
+	released atomic.Bool
+}
+
+// Cap returns the batch's row capacity.
+func (fb *FrameBatch) Cap() int { return fb.pool.bins }
+
+// Links returns the batch's column count.
+func (fb *FrameBatch) Links() int { return fb.pool.links }
+
+// Rows returns the first rows rows as a matrix aliasing the pooled
+// buffer. A full batch returns the preallocated matrix itself (no
+// allocation); a partial batch allocates only a small header.
+func (fb *FrameBatch) Rows(rows int) *mat.Dense {
+	if rows == fb.pool.bins {
+		return fb.full
+	}
+	return mat.NewDense(rows, fb.pool.links, fb.full.RawData()[:rows*fb.pool.links])
+}
+
+// Release returns the buffer to its pool. Calling it twice panics —
+// a second owner may already be filling the buffer.
+func (fb *FrameBatch) Release() {
+	if fb.released.Swap(true) {
+		panic("netmeas: FrameBatch released twice")
+	}
+	fb.pool.puts.Add(1)
+	fb.pool.pool.Put(fb)
+}
+
+// StreamBinary decodes a binary measurement stream and replays it as
+// LinkMeasurements, the source Monitor.IngestStream expects. Decoding
+// is double-buffered: the producer alternates between two row buffers,
+// which is safe because a channel consumer that finishes with one
+// measurement before receiving the next (as IngestStream does — it
+// copies the loads into its batch buffer) can never observe a buffer
+// being rewritten. The channel closes at end of stream, on a decode
+// error, or when ctx is cancelled; call the returned error function
+// after the channel closes to learn whether the stream ended cleanly.
+func StreamBinary(ctx context.Context, r io.Reader) (<-chan LinkMeasurement, func() error, error) {
+	dec, err := NewBinaryDecoder(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(chan LinkMeasurement)
+	bufs := [2][]float64{make([]float64, dec.links), make([]float64, dec.links)}
+	var streamErr error // written before close(out); read only after the channel closes
+	go func() {
+		defer close(out)
+		for bin := 0; ; bin++ {
+			dst := bufs[bin&1]
+			err := dec.ReadFrame(dst)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				streamErr = err
+				return
+			}
+			select {
+			case out <- LinkMeasurement{Bin: bin, Loads: dst}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out, func() error { return streamErr }, nil
+}

@@ -1,0 +1,297 @@
+package netmeas
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netanomaly/internal/mat"
+)
+
+func testMatrix(bins, links int, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	y := mat.Zeros(bins, links)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < links; j++ {
+			y.Set(i, j, 1e6*rng.Float64())
+		}
+	}
+	return y
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	y := testMatrix(97, 13, 1)
+	var buf bytes.Buffer
+	if err := WriteMatrixBinary(&buf, y); err != nil {
+		t.Fatal(err)
+	}
+	wantLen := binaryHeaderSize + 97*(4+8*13)
+	if buf.Len() != wantLen {
+		t.Fatalf("encoded length %d, want %d", buf.Len(), wantLen)
+	}
+	got, err := ReadMatrixBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.EqualApprox(got, y, 0) {
+		t.Fatal("binary round trip is not bit-exact")
+	}
+}
+
+func TestBinaryDecoderFrameByFrame(t *testing.T) {
+	y := testMatrix(10, 5, 2)
+	var buf bytes.Buffer
+	if err := WriteMatrixBinary(&buf, y); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewBinaryDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Links() != 5 {
+		t.Fatalf("Links() = %d, want 5", dec.Links())
+	}
+	row := make([]float64, 5)
+	for i := 0; i < 10; i++ {
+		if err := dec.ReadFrame(row); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		for j, v := range row {
+			if v != y.At(i, j) {
+				t.Fatalf("frame %d link %d: got %v want %v", i, j, v, y.At(i, j))
+			}
+		}
+	}
+	if err := dec.ReadFrame(row); err != io.EOF {
+		t.Fatalf("after last frame: got %v, want io.EOF", err)
+	}
+}
+
+func TestBinaryDecoderErrors(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteMatrixBinary(&buf, testMatrix(3, 4, 3)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name    string
+		mangle  func([]byte) []byte
+		wantFmt bool // expect ErrBinaryFormat (else io.ErrUnexpectedEOF)
+	}{
+		{"empty", func(b []byte) []byte { return nil }, false},
+		{"short header", func(b []byte) []byte { return b[:7] }, false},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, true},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }, true},
+		{"nonzero reserved", func(b []byte) []byte { b[6] = 1; return b }, true},
+		{"zero links", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 0)
+			return b
+		}, true},
+		{"oversized links", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], MaxBinaryLinks+1)
+			return b
+		}, true},
+		{"truncated frame length", func(b []byte) []byte { return b[:binaryHeaderSize+2] }, false},
+		{"truncated payload", func(b []byte) []byte { return b[:binaryHeaderSize+4+9] }, false},
+		{"frame length mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[binaryHeaderSize:], 8*4+8)
+			return b
+		}, true},
+		{"nan load", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[binaryHeaderSize+4:], math.Float64bits(math.NaN()))
+			return b
+		}, true},
+		{"inf load", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[binaryHeaderSize+4:], math.Float64bits(math.Inf(1)))
+			return b
+		}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadMatrixBinary(bytes.NewReader(tc.mangle(good())))
+			if err == nil {
+				t.Fatal("decode succeeded on mangled stream")
+			}
+			if tc.wantFmt && !errors.Is(err, ErrBinaryFormat) {
+				t.Fatalf("error %v does not wrap ErrBinaryFormat", err)
+			}
+			if !tc.wantFmt && !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("error %v does not wrap io.ErrUnexpectedEOF", err)
+			}
+		})
+	}
+}
+
+func TestBinaryEncoderRejectsNonFinite(t *testing.T) {
+	var buf bytes.Buffer
+	enc, err := NewBinaryEncoder(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteFrame([]float64{1, math.NaN(), 3}); err == nil {
+		t.Fatal("encoder accepted NaN")
+	}
+	if err := enc.WriteFrame([]float64{1, 2}); err == nil {
+		t.Fatal("encoder accepted mis-sized frame")
+	}
+}
+
+// TestBinaryDecodeAllocFree is the zero-copy contract of the tentpole:
+// once the decoder and its destination buffers exist, decoding a frame
+// allocates nothing.
+func TestBinaryDecodeAllocFree(t *testing.T) {
+	const bins, links = 64, 120
+	y := testMatrix(bins, links, 4)
+	var buf bytes.Buffer
+	if err := WriteMatrixBinary(&buf, y); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()
+
+	dec, err := NewBinaryDecoder(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, links)
+	rd := bytes.NewReader(payload)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := dec.ReadFrame(row); err == io.EOF {
+			rd.Reset(payload[binaryHeaderSize:]) // skip header, rewind frames
+			dec.r.Reset(rd)
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadFrame allocates %v per frame, want 0", allocs)
+	}
+
+	// Batched path: ReadBatch into a pooled full batch is also clean.
+	pool := NewFrameBatchPool(bins, links)
+	fb := pool.Get()
+	defer fb.Release()
+	rd2 := bytes.NewReader(payload)
+	dec2, err := NewBinaryDecoder(rd2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		rows, err := dec2.ReadBatch(fb)
+		if rows != bins || (err != nil && err != io.EOF) {
+			t.Fatalf("rows=%d err=%v", rows, err)
+		}
+		if m := fb.Rows(rows); m.Rows() != bins {
+			t.Fatal("full batch did not reuse the pooled matrix")
+		}
+		rd2.Reset(payload[binaryHeaderSize:])
+		dec2.r.Reset(rd2)
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadBatch allocates %v per batch, want 0", allocs)
+	}
+}
+
+func TestFrameBatchDoubleReleasePanics(t *testing.T) {
+	pool := NewFrameBatchPool(4, 2)
+	fb := pool.Get()
+	fb.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	fb.Release()
+}
+
+func TestFrameBatchPartialRows(t *testing.T) {
+	pool := NewFrameBatchPool(8, 3)
+	fb := pool.Get()
+	defer fb.Release()
+	m := fb.Rows(5)
+	if r, c := m.Dims(); r != 5 || c != 3 {
+		t.Fatalf("partial batch dims %dx%d, want 5x3", r, c)
+	}
+	m.Set(4, 2, 42)
+	if fb.full.At(4, 2) != 42 {
+		t.Fatal("partial batch does not alias the pooled buffer")
+	}
+	gets, puts := pool.Counters()
+	if gets != 1 || puts != 0 {
+		t.Fatalf("counters gets=%d puts=%d, want 1,0", gets, puts)
+	}
+}
+
+func TestStreamBinary(t *testing.T) {
+	y := testMatrix(23, 6, 5)
+	var buf bytes.Buffer
+	if err := WriteMatrixBinary(&buf, y); err != nil {
+		t.Fatal(err)
+	}
+	ch, errFn, err := StreamBinary(context.Background(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for meas := range ch {
+		if meas.Bin != n {
+			t.Fatalf("bin %d out of order (want %d)", meas.Bin, n)
+		}
+		for j, v := range meas.Loads {
+			if v != y.At(n, j) {
+				t.Fatalf("bin %d link %d: got %v want %v", n, j, v, y.At(n, j))
+			}
+		}
+		n++
+	}
+	if n != 23 {
+		t.Fatalf("streamed %d bins, want 23", n)
+	}
+	if err := errFn(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A truncated stream surfaces its decode error through errFn.
+	trunc := buf.Bytes()[:buf.Len()-5]
+	ch, errFn, err = StreamBinary(context.Background(), bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	for range ch {
+		n++
+	}
+	if n != 22 {
+		t.Fatalf("truncated stream yielded %d bins, want 22", n)
+	}
+	if err := errFn(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("errFn() = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestStreamBinaryCancel(t *testing.T) {
+	y := testMatrix(1000, 4, 6)
+	var buf bytes.Buffer
+	if err := WriteMatrixBinary(&buf, y); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, errFn, err := StreamBinary(ctx, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	cancel()
+	for range ch { // drain until the producer notices
+	}
+	if err := errFn(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -290,6 +290,15 @@ const (
 	// method identifies the flow" trade collapsed into one view. See
 	// docs/BACKENDS.md for the full selection guide.
 	DetectorHybrid DetectorKind = "hybrid"
+	// DetectorSketch maintains the covariance as a Frequent-Directions
+	// sketch of l rows (WithSketchSize, default 4x the model rank)
+	// instead of the full m x m matrix: memory O(l x m) independent of
+	// stream length, refits solve only the l x l sketch eigenproblem,
+	// and the spectral-norm guarantee keeps the normal subspace — which
+	// detection runs on — close to the exact fit's whenever l is at
+	// least twice the model rank. The cheapest subspace-family refit on
+	// wide (large-m) deployments.
+	DetectorSketch DetectorKind = "sketch"
 )
 
 type viewConfig struct {
@@ -304,6 +313,7 @@ type viewConfig struct {
 	k          float64
 	triage     DetectorKind
 	escalation string
+	sketchSize int
 }
 
 // ViewOption customizes the backend AddView builds.
@@ -316,7 +326,7 @@ func WithDetector(kind DetectorKind) ViewOption {
 
 // WithDetectorKind selects the backend kind by its string name
 // ("subspace", "incremental", "multiscale", "multiflow", "ewma",
-// "holtwinters", "fourier", "hybrid") — a convenience for callers
+// "holtwinters", "fourier", "hybrid", "sketch") — a convenience for callers
 // plumbing the kind from flags or config files; unknown names fail in
 // AddView.
 func WithDetectorKind(kind string) ViewOption {
@@ -366,6 +376,14 @@ func WithEscalation(policy string) ViewOption {
 	return func(vc *viewConfig) { vc.escalation = policy }
 }
 
+// WithSketchSize sets the sketch backend's Frequent-Directions sketch
+// to l rows (memory O(l x links), refit cost O(l^2 x links)). The
+// default is 4x the model rank; AddView rejects l below 2x the rank —
+// under that the sketch cannot hold the normal subspace — or below 4.
+func WithSketchSize(l int) ViewOption {
+	return func(vc *viewConfig) { vc.sketchSize = l }
+}
+
 // WithLambda sets the incremental backend's forgetting factor in
 // (0, 1]; 1 weights all history equally, 0.999 forgets with roughly a
 // one-week time constant at ten-minute bins.
@@ -400,7 +418,7 @@ func WithMetrics(names ...string) ViewOption {
 
 // AddView registers a detector shard on the monitor for a topology's
 // measurement stream, with the backend selected by options. history
-// seeds the model: bins x links for the subspace, incremental,
+// seeds the model: bins x links for the subspace, incremental, sketch,
 // multiscale, forecast (ewma / holtwinters / fourier) and hybrid
 // kinds, bins x (metrics x links) column-stacked for multiflow. The
 // monitor's Window, RefitEvery and Options configure every kind
@@ -471,6 +489,13 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 		})
 	case DetectorHybrid:
 		det, err = buildHybrid(vc, history, routing, window, cfg)
+	case DetectorSketch:
+		det, err = core.NewSketchDetector(history, routing, core.SketchConfig{
+			SketchSize: vc.sketchSize,
+			RefitEvery: cfg.RefitEvery,
+			DriftTol:   vc.driftTol,
+			Options:    cfg.Options,
+		})
 	default:
 		return fmt.Errorf("netanomaly: view %q: unknown detector kind %q", name, vc.kind)
 	}

@@ -3,6 +3,8 @@ package netanomaly_test
 import (
 	"bytes"
 	"context"
+	"errors"
+	"io"
 	"math"
 	"path/filepath"
 	"strings"
@@ -229,10 +231,122 @@ func TestCSVFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBinaryPublicAPI exercises the binary wire format through the
+// public surface: bit-exact round trips in memory and on disk, the
+// corrupt-versus-truncated error split, and the two streaming
+// consumers — StreamBinary into IngestStream and the pooled
+// Monitor.IngestBinary — detecting an injected spike end to end.
+func TestBinaryPublicAPI(t *testing.T) {
+	m := netanomaly.NewMatrix(3, 2, []float64{1, -2.5, 3e9, 0, 5e-300, 6})
+	var buf bytes.Buffer
+	if err := netanomaly.WriteMatrixBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+	got, err := netanomaly.ReadMatrixBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != m.At(i, j) {
+				t.Fatalf("round trip changed value at %d,%d: %v -> %v", i, j, m.At(i, j), got.At(i, j))
+			}
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.bin")
+	if err := netanomaly.SaveMatrixBinary(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = netanomaly.LoadMatrixBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	if got.At(2, 1) != 6 {
+		t.Fatal("file round trip wrong")
+	}
+	if _, err := netanomaly.LoadMatrixBinary(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file must error")
+	}
+
+	// Corrupt magic is a format error; a stream cut mid-frame is not.
+	bad := append([]byte(nil), wire...)
+	bad[0] = 'X'
+	if _, err := netanomaly.ReadMatrixBinary(bytes.NewReader(bad)); !errors.Is(err, netanomaly.ErrBinaryFormat) {
+		t.Fatalf("corrupt magic returned %v, want ErrBinaryFormat", err)
+	}
+	if _, err := netanomaly.ReadMatrixBinary(bytes.NewReader(wire[:len(wire)-5])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream returned %v, want io.ErrUnexpectedEOF", err)
+	}
+
+	// End to end: a spiked stream encoded to the wire format and ingested
+	// two ways must raise the same alarm.
+	topo := netanomaly.Abilene()
+	cfg := netanomaly.DefaultTrafficConfig(23)
+	cfg.Bins = 1008 + 96
+	od, err := netanomaly.GenerateTraffic(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow := topo.FlowID(1, 6)
+	netanomaly.InjectAnomalies(od, []netanomaly.Anomaly{{Flow: flow, Bin: 1008 + 40, Delta: 9e7}})
+	links := netanomaly.LinkLoads(topo, od)
+	nl := links.Cols()
+	history := netanomaly.NewMatrix(1008, nl, links.RawData()[:1008*nl])
+	stream := netanomaly.NewMatrix(96, nl, links.RawData()[1008*nl:])
+	var wireBuf bytes.Buffer
+	if err := netanomaly.WriteMatrixBinary(&wireBuf, stream); err != nil {
+		t.Fatal(err)
+	}
+	streamWire := wireBuf.Bytes()
+
+	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{Workers: 2, BatchSize: 32})
+	defer mon.Close()
+	for _, view := range []string{"pooled", "channel"} {
+		if err := netanomaly.AddView(mon, view, history, topo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := netanomaly.NewBinaryDecoder(bytes.NewReader(streamWire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.IngestBinary("pooled", dec); err != nil {
+		t.Fatal(err)
+	}
+	ch, errFn, err := netanomaly.StreamBinary(context.Background(), bytes.NewReader(streamWire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.IngestStream("channel", ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := errFn(); err != nil {
+		t.Fatal(err)
+	}
+	mon.Flush()
+	hits := make(map[string]bool)
+	for _, a := range mon.TakeAlarms() {
+		if a.Seq == 40 {
+			hits[a.View] = true
+			if a.Flow != flow {
+				t.Fatalf("view %q identified flow %d want %d", a.View, a.Flow, flow)
+			}
+		}
+	}
+	for _, view := range []string{"pooled", "channel"} {
+		if !hits[view] {
+			t.Fatalf("view %q missed the injected spike", view)
+		}
+	}
+}
+
 // TestAddViewBackendsViaPublicAPI exercises the backend-selecting
 // AddView options and channel-driven ingestion end to end through the
-// public surface: one monitor, seven shards (one per detector kind),
-// one of them fed from a StreamMatrix channel.
+// public surface: one monitor, eight shards (one per detector kind
+// except hybrid, which has its own end-to-end test), one of them fed
+// from a StreamMatrix channel.
 func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 	topo := netanomaly.Abilene()
 	cfg := netanomaly.DefaultTrafficConfig(11)
@@ -268,6 +382,7 @@ func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 		"ewma":        {netanomaly.WithDetectorKind("ewma"), netanomaly.WithThresholdK(6)},
 		"holtwinters": {netanomaly.WithDetector(netanomaly.DetectorHoltWinters), netanomaly.WithAlpha(0.3), netanomaly.WithBeta(0.1)},
 		"fourier":     {netanomaly.WithDetector(netanomaly.DetectorFourier)},
+		"sketch":      {netanomaly.WithDetector(netanomaly.DetectorSketch)},
 	} {
 		if err := netanomaly.AddView(mon, name, history, topo, opts...); err != nil {
 			t.Fatal(err)
@@ -285,7 +400,7 @@ func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 	if err := mon.IngestStream("subspace", netanomaly.StreamMatrix(context.Background(), stream, 0)); err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []string{"incremental", "multiscale", "ewma", "holtwinters", "fourier"} {
+	for _, v := range []string{"incremental", "multiscale", "ewma", "holtwinters", "fourier", "sketch"} {
 		if err := mon.Ingest(v, stream); err != nil {
 			t.Fatal(err)
 		}
@@ -303,7 +418,7 @@ func TestAddViewBackendsViaPublicAPI(t *testing.T) {
 			hits[a.View] = true
 		}
 	}
-	for _, v := range []string{"subspace", "incremental", "multiscale", "multiflow", "ewma", "holtwinters", "fourier"} {
+	for _, v := range []string{"subspace", "incremental", "multiscale", "multiflow", "ewma", "holtwinters", "fourier", "sketch"} {
 		if !hits[v] {
 			t.Fatalf("view %q missed the injected spike", v)
 		}
