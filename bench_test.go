@@ -395,44 +395,88 @@ func (d *benchSinkDetector) Stats() core.ViewStats {
 	return core.ViewStats{Backend: "sink", Links: d.links, Processed: int(d.n.Load())}
 }
 
-// BenchmarkBinaryIngest prices one measurement bin through the two
-// ingest paths at m = 120: the CSV path (parse the stream, hand the
-// matrix to Ingest) against the binary wire format decoded straight
-// into pooled batch buffers (IngestBinary). One op is one bin; the
-// timed loop runs the binary path, the CSV path is measured once as
-// the reference, and the benchmark fails itself if the binary path is
-// under 5x the CSV throughput or allocates a heap object per bin at
-// steady state — the committed BENCH_ingest.json trajectory holds
-// these two numbers per PR.
+// BenchmarkBinaryIngest prices one measurement bin through every
+// ingest path at m = 120: the CSV reference (parse the stream, hand
+// the matrix to Ingest), the v1 per-bin binary format, and the v2
+// batch-framed format under both codecs (IngestBinary throughout).
+// The binary streams carry whole-byte loads, mirroring
+// cmd/trafficgen's binary path — counters on the wire are integral,
+// and integral loads are the regime the xor codec is built for.
+//
+// One op is one bin; the timed loop runs the v2 raw path (the format
+// cmd/trafficgen now emits by default for batch framing). The rest are
+// measured as references, and the benchmark fails itself on any of the
+// format's capability gates:
+//
+//   - v2 raw >= 5x the CSV path and >= 1.5x v1 ns/bin,
+//   - v2 batching cuts decoder read calls per bin by >= 10x vs v1,
+//   - xor decodes within 1.3x of the v1 raw-decode baseline, and
+//     within 2.2x of v2 raw as a regression guard. The v2 raw path
+//     reads payload bytes straight into the destination floats, so its
+//     decode is a memcpy plus a finiteness scan — no decompressor can
+//     price within 30% of that, and the codec's CPU budget is instead
+//     held to the per-bin raw decode it was specified against (it
+//     currently beats that baseline outright),
+//   - xor carries the trafficgen Abilene diurnal week in <= half the
+//     bytes/bin of raw (measured on that exact scenario, so the ratio
+//     is a deterministic property of the codec, not of this machine),
+//   - steady-state ingest stays under 0.05 heap allocations per bin
+//     (one stream amortizes its decoder setup over 1008 bins; the
+//     engine's own suite pins the pooled path at <= 0.01 across
+//     streams).
+//
+// The timing gates are capability claims, so a noisy shared-runner
+// sample must not fail CI by itself: each is re-attempted and only a
+// ratio that misses every independent attempt fails the benchmark.
+// The committed BENCH_ingest.json trajectory holds these numbers per
+// PR.
 func BenchmarkBinaryIngest(b *testing.B) {
 	const links = 120
+	const batchBins = 64
 	y := largeLinkTrace(links)
 	bins := y.Rows()
+	yraw := y.RawData()
+	for i, v := range yraw {
+		yraw[i] = math.Round(v)
+	}
 
-	var binBuf, csvBuf bytes.Buffer
-	if err := netmeas.WriteMatrixBinary(&binBuf, y); err != nil {
+	var v1Buf, v2RawBuf, v2XORBuf, csvBuf bytes.Buffer
+	if err := netmeas.WriteMatrixBinary(&v1Buf, y); err != nil {
+		b.Fatal(err)
+	}
+	if err := netmeas.WriteMatrixBinaryFormat(&v2RawBuf, y, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecRaw, BatchBins: batchBins}); err != nil {
+		b.Fatal(err)
+	}
+	if err := netmeas.WriteMatrixBinaryFormat(&v2XORBuf, y, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecXOR, BatchBins: batchBins}); err != nil {
 		b.Fatal(err)
 	}
 	if err := netanomaly.WriteMatrixCSV(&csvBuf, y, nil); err != nil {
 		b.Fatal(err)
 	}
-	binBytes, csvBytes := binBuf.Bytes(), csvBuf.Bytes()
+	csvBytes := csvBuf.Bytes()
 
 	mon := engine.NewMonitor(engine.Config{Workers: 1, BatchSize: 64, MaxPending: 256, Overload: engine.OverloadBlock})
 	defer mon.Close()
 	if err := mon.AddDetectorView("v", &benchSinkDetector{links: links}); err != nil {
 		b.Fatal(err)
 	}
-	binStream := func() {
-		dec, err := netmeas.NewBinaryDecoder(bytes.NewReader(binBytes))
-		if err != nil {
-			b.Fatal(err)
+	var readCalls int64
+	stream := func(payload []byte) func() {
+		return func() {
+			dec, err := netmeas.NewBinaryDecoder(bytes.NewReader(payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mon.IngestBinary("v", dec); err != nil {
+				b.Fatal(err)
+			}
+			mon.Flush()
+			readCalls = dec.ReadCalls()
 		}
-		if err := mon.IngestBinary("v", dec); err != nil {
-			b.Fatal(err)
-		}
-		mon.Flush()
 	}
+	v1Stream := stream(v1Buf.Bytes())
+	v2RawStream := stream(v2RawBuf.Bytes())
+	v2XORStream := stream(v2XORBuf.Bytes())
 	csvStream := func() {
 		m, _, err := netanomaly.ReadMatrixCSV(bytes.NewReader(csvBytes))
 		if err != nil {
@@ -443,35 +487,105 @@ func BenchmarkBinaryIngest(b *testing.B) {
 		}
 		mon.Flush()
 	}
+	// ns/bin for one path, best of reps — each rep feeds the whole
+	// 1008-bin week, so a single sample is already well averaged.
+	perBin := func(stream func()) float64 {
+		const reps = 3
+		best := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			stream()
+			if t := time.Since(start).Seconds() / float64(bins); t < best {
+				best = t
+			}
+		}
+		return best
+	}
 
-	binStream() // warm the pool and the queue's backing array
-	if perBin := testing.AllocsPerRun(3, binStream) / float64(bins); perBin >= 1 {
-		b.Fatalf("binary ingest allocates %.3f heap objects per bin at steady state, want amortized < 1", perBin)
+	v1Stream() // warm the pools and the queue's backing arrays
+	v2RawStream()
+	v2XORStream()
+	csvStream()
+
+	// Deterministic gates first: read amplification and wire size do not
+	// depend on the machine.
+	v1Stream()
+	v1Reads := float64(readCalls) / float64(bins)
+	v2RawStream()
+	v2Reads := float64(readCalls) / float64(bins)
+	if v1Reads < 10*v2Reads {
+		b.Fatalf("v2 batch framing only cuts read calls %.1fx (v1 %.3f/bin, v2 %.4f/bin), want >= 10x",
+			v1Reads/v2Reads, v1Reads, v2Reads)
 	}
-	csvStream() // fault in the CSV path before timing it
-	const csvReps = 3
-	csvStart := time.Now()
-	for i := 0; i < csvReps; i++ {
-		csvStream()
+	xorBytesPerBin, rawBytesPerBin := trafficgenWireBytesPerBin(b, batchBins)
+	if xorBytesPerBin > rawBytesPerBin/2 {
+		b.Fatalf("xor codec carries the trafficgen diurnal week at %.0f bytes/bin vs raw %.0f, want <= half",
+			xorBytesPerBin, rawBytesPerBin)
 	}
-	csvPerBin := time.Since(csvStart).Seconds() / float64(csvReps*bins)
+	if perStream := testing.AllocsPerRun(3, v2RawStream); perStream/float64(bins) > 0.05 {
+		b.Fatalf("v2 ingest allocates %.4f heap objects per bin at steady state, want <= 0.05", perStream/float64(bins))
+	}
+
+	const attempts = 3
+	var v1PerBin, v2PerBin, xorPerBin, csvPerBin float64
+	ok := false
+	for a := 0; a < attempts && !ok; a++ {
+		csvPerBin = perBin(csvStream)
+		v1PerBin = perBin(v1Stream)
+		v2PerBin = perBin(v2RawStream)
+		xorPerBin = perBin(v2XORStream)
+		ok = csvPerBin/v2PerBin >= 5 && v1PerBin/v2PerBin >= 1.5 &&
+			xorPerBin/v1PerBin <= 1.3 && xorPerBin/v2PerBin <= 2.2
+	}
+	if !ok {
+		b.Fatalf("binary format gates failed in all %d attempts: v2 raw %.1fx CSV (want >= 5), %.2fx v1 (want >= 1.5), xor/v1 ns ratio %.2f (want <= 1.3), xor/raw ns ratio %.2f (want <= 2.2) [csv %.0f, v1 %.0f, v2 raw %.0f, v2 xor %.0f ns/bin]",
+			attempts, csvPerBin/v2PerBin, v1PerBin/v2PerBin, xorPerBin/v1PerBin, xorPerBin/v2PerBin,
+			csvPerBin*1e9, v1PerBin*1e9, v2PerBin*1e9, xorPerBin*1e9)
+	}
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	fed := 0
 	for fed < b.N {
-		binStream()
+		v2RawStream()
 		fed += bins
 	}
 	b.StopTimer()
-	binPerBin := b.Elapsed().Seconds() / float64(fed)
-	speedup := csvPerBin / binPerBin
-	b.ReportMetric(speedup, "x_vs_csv")
-	b.ReportMetric(1/binPerBin, "bins/sec")
-	if speedup < 5 {
-		b.Fatalf("binary ingest is only %.1fx the CSV path (%.0f ns/bin vs %.0f ns/bin), want >= 5x",
-			speedup, binPerBin*1e9, csvPerBin*1e9)
+	timedPerBin := b.Elapsed().Seconds() / float64(fed)
+	b.ReportMetric(csvPerBin/timedPerBin, "x_vs_csv")
+	b.ReportMetric(v1PerBin/timedPerBin, "x_vs_v1")
+	b.ReportMetric(xorPerBin/v2PerBin, "xor_ns_ratio")
+	b.ReportMetric(rawBytesPerBin/xorBytesPerBin, "xor_compression")
+	b.ReportMetric(v1Reads/v2Reads, "read_reduction")
+	b.ReportMetric(1/timedPerBin, "bins/sec")
+}
+
+// trafficgenWireBytesPerBin encodes the exact link-load stream
+// cmd/trafficgen emits for the Abilene diurnal week at seed 5 (loads
+// rounded to whole bytes, as its binary path does) under both v2
+// codecs and returns their bytes/bin. Generation is deterministic in
+// the seed, so these are fixed properties of the codec.
+func trafficgenWireBytesPerBin(b *testing.B, batchBins int) (xor, raw float64) {
+	b.Helper()
+	topo := netanomaly.Abilene()
+	od, err := netanomaly.GenerateTraffic(topo, netanomaly.DefaultTrafficConfig(5))
+	if err != nil {
+		b.Fatal(err)
 	}
+	loads := netanomaly.LinkLoads(topo, od)
+	data := loads.RawData()
+	for i, v := range data {
+		data[i] = math.Round(v)
+	}
+	bins := loads.Rows()
+	var rawBuf, xorBuf bytes.Buffer
+	if err := netmeas.WriteMatrixBinaryFormat(&rawBuf, loads, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecRaw, BatchBins: batchBins}); err != nil {
+		b.Fatal(err)
+	}
+	if err := netmeas.WriteMatrixBinaryFormat(&xorBuf, loads, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecXOR, BatchBins: batchBins}); err != nil {
+		b.Fatal(err)
+	}
+	return float64(xorBuf.Len()) / float64(bins), float64(rawBuf.Len()) / float64(bins)
 }
 
 // BenchmarkSketchRefit prices a streaming shard's model rebuild at

@@ -16,18 +16,46 @@ import (
 // from one that was cut short.
 var ErrBinaryFormat = netmeas.ErrBinaryFormat
 
+// Codec identifies a v2 payload encoding: CodecRaw (LE float64) or
+// CodecXOR (per-link XOR/delta compression for smooth traffic counts).
+type Codec = netmeas.Codec
+
+// Codec values for WireFormat and BinaryDecoder.Codec.
+const (
+	CodecRaw = netmeas.CodecRaw
+	CodecXOR = netmeas.CodecXOR
+)
+
+// ParseCodec maps "raw" or "xor" to its Codec — for flag plumbing.
+func ParseCodec(s string) (Codec, error) {
+	return netmeas.ParseCodec(s)
+}
+
+// WireFormat selects the version, codec, and batch framing of an
+// encoded binary stream (see the "Binary ingest" section of the
+// README). The zero value is version 1: per-bin frames, raw payload.
+type WireFormat = netmeas.WireFormat
+
 // BinaryEncoder writes link-measurement bins in the compact binary
 // wire format (see the "Binary ingest" section of the README): a
-// 12-byte stream header carrying the link count, then one
-// length-prefixed little-endian float64 frame per bin. The encoder
-// reuses one internal buffer, so steady-state encoding does not
+// 12-byte stream header carrying the link count, then length-prefixed
+// frames — one bin per frame under v1, up to BatchBins bins per frame
+// under v2, with the payload encoded by the negotiated codec. The
+// encoder reuses internal buffers, so steady-state encoding does not
 // allocate.
 type BinaryEncoder = netmeas.BinaryEncoder
 
-// NewBinaryEncoder writes the stream header for links columns and
+// NewBinaryEncoder writes the v1 stream header for links columns and
 // returns an encoder for the frames.
 func NewBinaryEncoder(w io.Writer, links int) (*BinaryEncoder, error) {
 	return netmeas.NewBinaryEncoder(w, links)
+}
+
+// NewBinaryEncoderFormat writes the stream header for the requested
+// wire format and returns an encoder for the frames. Under v2, call
+// Flush after the last bin to emit the final short batch frame.
+func NewBinaryEncoderFormat(w io.Writer, links int, format WireFormat) (*BinaryEncoder, error) {
+	return netmeas.NewBinaryEncoderFormat(w, links, format)
 }
 
 // BinaryDecoder reads the binary wire format frame by frame into
@@ -40,11 +68,19 @@ func NewBinaryDecoder(r io.Reader) (*BinaryDecoder, error) {
 	return netmeas.NewBinaryDecoder(r)
 }
 
-// WriteMatrixBinary writes a bins x links matrix as one binary stream:
-// header plus one frame per row. The binary format carries no column
-// names — pair it with a topology, which defines the link order.
+// WriteMatrixBinary writes a bins x links matrix as one v1 binary
+// stream: header plus one frame per row. The binary format carries no
+// column names — pair it with a topology, which defines the link order.
 func WriteMatrixBinary(w io.Writer, m *Matrix) error {
 	return netmeas.WriteMatrixBinary(w, m)
+}
+
+// WriteMatrixBinaryFormat writes the matrix as one binary stream in the
+// requested wire format — version 2 with batch framing and a codec, or
+// the v1 default. Every accepted (version, codec, capacity) choice has
+// exactly one canonical serialization per matrix, and this writes it.
+func WriteMatrixBinaryFormat(w io.Writer, m *Matrix, format WireFormat) error {
+	return netmeas.WriteMatrixBinaryFormat(w, m, format)
 }
 
 // ReadMatrixBinary reads a complete binary stream into a matrix — the

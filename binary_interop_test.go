@@ -1,0 +1,124 @@
+package netanomaly_test
+
+// Cross-version interoperability of the binary wire format: one
+// decoder entry point sniffs the stream header and serves v1 per-bin
+// frames and v2 batch frames (either codec) alike, so a fleet can mix
+// collectors speaking different versions against one ingest daemon.
+// The table below pins the contracts that make that safe: bit-exact
+// round trips for every (version, codec, capacity), header sniffing
+// that reports the negotiated format, and v1 byte-compatibility — the
+// zero WireFormat still writes the exact bytes the v1 encoder always
+// wrote.
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netanomaly"
+)
+
+// interopMatrix builds a bins x links matrix of whole-byte traffic
+// counts with a diurnal swing, one constant column, and one negative
+// sentinel — the value mix both codecs must carry bit-exactly.
+func interopMatrix(bins, links int) *netanomaly.Matrix {
+	rng := rand.New(rand.NewSource(41))
+	data := make([]float64, bins*links)
+	for i := 0; i < bins; i++ {
+		phase := 2 * math.Pi * float64(i) / 288
+		for j := 0; j < links; j++ {
+			switch j {
+			case 0:
+				data[i*links+j] = 1.5e6 // idle link: constant column
+			case 1:
+				data[i*links+j] = -273.5 // codecs must not assume non-negative
+			default:
+				base := 2e6 * (1 + 0.3*float64(j))
+				data[i*links+j] = math.Round(base * (1 + 0.4*math.Sin(phase)) * (1 + 0.05*rng.NormFloat64()))
+			}
+		}
+	}
+	return netanomaly.NewMatrix(bins, links, data)
+}
+
+func TestBinaryVersionInterop(t *testing.T) {
+	m := interopMatrix(150, 7)
+	cases := []struct {
+		name   string
+		format netanomaly.WireFormat
+	}{
+		{"v1", netanomaly.WireFormat{}},
+		{"v2_raw_cap4", netanomaly.WireFormat{Version: 2, Codec: netanomaly.CodecRaw, BatchBins: 4}},
+		{"v2_raw_cap64", netanomaly.WireFormat{Version: 2, Codec: netanomaly.CodecRaw, BatchBins: 64}},
+		{"v2_xor_cap4", netanomaly.WireFormat{Version: 2, Codec: netanomaly.CodecXOR, BatchBins: 4}},
+		{"v2_xor_cap64", netanomaly.WireFormat{Version: 2, Codec: netanomaly.CodecXOR, BatchBins: 64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := netanomaly.WriteMatrixBinaryFormat(&buf, m, tc.format); err != nil {
+				t.Fatalf("encode %+v: %v", tc.format, err)
+			}
+			encoded := append([]byte(nil), buf.Bytes()...)
+
+			// The single sniffing entry point must decode every version
+			// to the identical bits.
+			got, err := netanomaly.ReadMatrixBinary(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatalf("decode %+v: %v", tc.format, err)
+			}
+			rows, cols := got.Dims()
+			wr, wc := m.Dims()
+			if rows != wr || cols != wc {
+				t.Fatalf("decoded %dx%d, want %dx%d", rows, cols, wr, wc)
+			}
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					if math.Float64bits(got.At(i, j)) != math.Float64bits(m.At(i, j)) {
+						t.Fatalf("bit mismatch at %d,%d: got %v want %v", i, j, got.At(i, j), m.At(i, j))
+					}
+				}
+			}
+
+			// Header sniffing must report the format that was written,
+			// with v1 normalizing to the raw codec (per-bin framing is
+			// reported as batch capacity 0).
+			dec, err := netanomaly.NewBinaryDecoder(bytes.NewReader(encoded))
+			if err != nil {
+				t.Fatalf("sniff header: %v", err)
+			}
+			want := tc.format
+			if want.Version == 0 {
+				want = netanomaly.WireFormat{Version: 1, Codec: netanomaly.CodecRaw}
+			}
+			if dec.Format() != want {
+				t.Fatalf("sniffed format %+v, want %+v", dec.Format(), want)
+			}
+
+			// Re-encoding under the sniffed format must reproduce the
+			// stream byte for byte (canonical serialization).
+			var again bytes.Buffer
+			if err := netanomaly.WriteMatrixBinaryFormat(&again, got, dec.Format()); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(again.Bytes(), encoded) {
+				t.Fatalf("%s: re-encode under sniffed format differs (%d vs %d bytes)", tc.name, again.Len(), len(encoded))
+			}
+		})
+	}
+
+	// v1 byte-compatibility: the zero WireFormat and the original v1
+	// writer must emit identical streams, so pre-v2 consumers see no
+	// change at all.
+	var legacy, zero bytes.Buffer
+	if err := netanomaly.WriteMatrixBinary(&legacy, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := netanomaly.WriteMatrixBinaryFormat(&zero, m, netanomaly.WireFormat{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), zero.Bytes()) {
+		t.Fatalf("zero WireFormat stream (%d bytes) differs from v1 writer (%d bytes)", zero.Len(), legacy.Len())
+	}
+}

@@ -114,6 +114,7 @@ func main() {
 	burst := flag.Int("burst", 0, "streaming: ingest the stream in bursts of this many bins at once instead of replaying it bin by bin (stress mode; pair with -max-pending)")
 	listen := flag.String("listen", "", "accept binary streams on this TCP address instead of replaying the tail of -links (seeds on the whole matrix)")
 	conns := flag.Int("conns", 1, "listen mode: exit after this many connections")
+	codecPolicy := flag.String("codec", "any", "listen mode: accept streams with this codec — any, raw, or xor (v1 streams count as raw)")
 	flag.Parse()
 
 	topo, err := parseTopology(*topoName)
@@ -174,7 +175,12 @@ func main() {
 		if sc.overload, err = netanomaly.ParseOverloadPolicy(*overload); err != nil {
 			fatal(err)
 		}
-		runListen(topo, links, sc, opts, *listen, *conns)
+		switch *codecPolicy {
+		case "any", "raw", "xor":
+		default:
+			fatal(fmt.Errorf("-codec %q: want any, raw, or xor", *codecPolicy))
+		}
+		runListen(topo, links, sc, opts, *listen, *conns, *codecPolicy)
 		return
 	}
 	if *detector != string(netanomaly.DetectorSubspace) {
@@ -400,7 +406,7 @@ func loadLinks(path string) (*netanomaly.Matrix, error) {
 // binary streams from TCP connections through the pooled path,
 // printing alarms live — the analyzer end of a trafficgen/collector
 // pipe, exiting after a fixed number of connections.
-func runListen(topo *netanomaly.Topology, history *netanomaly.Matrix, sc streamConfig, opts netanomaly.Options, addr string, conns int) {
+func runListen(topo *netanomaly.Topology, history *netanomaly.Matrix, sc streamConfig, opts netanomaly.Options, addr string, conns int, codecPolicy string) {
 	if conns <= 0 {
 		fatal(fmt.Errorf("listen mode: -conns must be positive, got %d", conns))
 	}
@@ -447,7 +453,9 @@ func runListen(topo *netanomaly.Topology, history *netanomaly.Matrix, sc streamC
 			fatal(err)
 		}
 		dec, err := netanomaly.NewBinaryDecoder(conn)
-		if err == nil {
+		if err == nil && codecPolicy != "any" && dec.Codec().String() != codecPolicy {
+			err = fmt.Errorf("stream codec %s refused (-codec %s)", dec.Codec(), codecPolicy)
+		} else if err == nil {
 			err = mon.IngestBinary(view, dec)
 		}
 		conn.Close()

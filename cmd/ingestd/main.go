@@ -20,9 +20,13 @@
 //	    -detector sketch -sketch-size 16
 //
 // The history file may be CSV (as written by trafficgen) or binary;
-// the format is sniffed from the leading magic bytes. -detector
-// selects the shard backend (subspace, incremental, or sketch — the
-// kinds that identify OD flows from plain link loads).
+// the format is sniffed from the leading magic bytes. Wire-format
+// versions are sniffed per stream: v1 per-bin frames and v2 batch
+// frames (raw or xor codec) can arrive on concurrent connections of
+// one server. -codec restricts which codecs are accepted (any, raw,
+// or xor; a v1 stream counts as raw). -detector selects the shard
+// backend (subspace, incremental, or sketch — the kinds that identify
+// OD flows from plain link loads).
 package main
 
 import (
@@ -59,7 +63,14 @@ func main() {
 	refitEvery := flag.Int("refit", 0, "background-refit interval in bins (0 = never)")
 	maxPending := flag.Int("max-pending", 0, "bound on queued unprocessed bins (0 = unbounded)")
 	overload := flag.String("overload", "block", "full-queue policy: block, dropoldest, or error")
+	codecPolicy := flag.String("codec", "any", "accept streams with this codec: any, raw, or xor (v1 streams count as raw)")
 	flag.Parse()
+
+	switch *codecPolicy {
+	case "any", "raw", "xor":
+	default:
+		fatal(fmt.Errorf("-codec %q: want any, raw, or xor", *codecPolicy))
+	}
 
 	if *historyPath == "" {
 		fatal(errors.New("-history is required: the model must be seeded before streams arrive"))
@@ -131,13 +142,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ingestd: %s: %v\n", name, err)
 			return
 		}
+		// Negotiation on accept: the header declares the stream's codec
+		// (v1 has none and counts as raw); a -codec policy other than
+		// "any" refuses mismatched streams before decoding a frame.
+		if *codecPolicy != "any" && dec.Codec().String() != *codecPolicy {
+			fmt.Fprintf(os.Stderr, "ingestd: %s: stream codec %s refused (-codec %s)\n", name, dec.Codec(), *codecPolicy)
+			return
+		}
+		desc := fmt.Sprintf("v%d %s", dec.Version(), dec.Codec())
+		if dec.Version() == 2 {
+			desc = fmt.Sprintf("%s x%d", desc, dec.BatchBins())
+		}
 		before, _ := mon.QueueStats(view)
 		if err := mon.IngestBinary(view, dec); err != nil {
 			fmt.Fprintf(os.Stderr, "ingestd: %s: %v\n", name, err)
 			return
 		}
 		after, _ := mon.QueueStats(view)
-		fmt.Printf("ingestd: %s: stream done, %d bins enqueued\n", name, after.EnqueuedBins-before.EnqueuedBins)
+		fmt.Printf("ingestd: %s: stream done (%s), %d bins enqueued\n", name, desc, after.EnqueuedBins-before.EnqueuedBins)
 	}
 
 	// done closes when the configured connection budget is spent; the

@@ -12,9 +12,14 @@
 // -format selects the link matrix encoding: csv (default) or binary,
 // the compact wire format cmd/ingestd and diagnose -format binary
 // consume (no column names; the topology defines the link order).
-// With -links - the link matrix goes to stdout and the banners to
-// stderr, so a generator can feed an ingest server with no file in
-// between:
+// Binary loads are rounded to whole bytes, matching what a real SNMP
+// counter reports; the CSV path keeps the model's full precision.
+// -batch-frames n upgrades the binary output to wire format v2 (n bins
+// per batch frame) and -codec picks its payload encoding (raw or xor);
+// -skip drops the leading bins, emitting the post-history tail of the
+// same deterministic trace as a standalone stream. With -links - the
+// link matrix goes to stdout and the banners to stderr, so a generator
+// can feed an ingest server with no file in between:
 //
 //	trafficgen -topology abilene -seed 42 -bins 1008 \
 //	    -anomaly 24,500,9e7 -od od.csv -links links.csv
@@ -24,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -65,6 +71,9 @@ func main() {
 	odPath := flag.String("od", "", "write OD-flow matrix CSV here (optional)")
 	linksPath := flag.String("links", "links.csv", "write link-load matrix here (- for stdout)")
 	format := flag.String("format", "csv", "link matrix encoding: csv or binary")
+	codecName := flag.String("codec", "raw", "binary v2 payload codec: raw or xor (with -batch-frames)")
+	batchFrames := flag.Int("batch-frames", 0, "binary wire format v2: bins per batch frame (0 = v1 per-bin frames)")
+	skip := flag.Int("skip", 0, "drop the first n bins from the link matrix output (emit a post-history stream tail)")
 	withMetrics := flag.Bool("metrics", false, "stack flow-count and packet-size metrics after the byte columns (for diagnose -detector multiflow)")
 	flag.Var(&anomalies, "anomaly", "inject flow,bin,delta (repeatable)")
 	flag.Parse()
@@ -94,6 +103,25 @@ func main() {
 			fatal(err)
 		}
 		metricNote = " x 3 metrics (bytes, flows, pktsize)"
+	}
+	wire := netanomaly.WireFormat{}
+	if *batchFrames > 0 {
+		codec, err := netanomaly.ParseCodec(*codecName)
+		if err != nil {
+			fatal(err)
+		}
+		wire = netanomaly.WireFormat{Version: 2, Codec: codec, BatchBins: *batchFrames}
+	} else if *codecName != "raw" {
+		fatal(fmt.Errorf("-codec %s requires -batch-frames > 0 (the v1 format has no codec byte)", *codecName))
+	}
+	outBins := *bins
+	if *skip > 0 {
+		rows, cols := links.Dims()
+		if *skip >= rows {
+			fatal(fmt.Errorf("-skip %d drops the whole %d-bin matrix", *skip, rows))
+		}
+		links = netanomaly.NewMatrix(rows-*skip, cols, links.RawData()[*skip*cols:])
+		outBins = rows - *skip
 	}
 
 	// With the link matrix on stdout the banners move to stderr, so a
@@ -134,10 +162,21 @@ func main() {
 			err = netanomaly.SaveMatrixCSV(*linksPath, links, linkNames)
 		}
 	case "binary":
+		// Counters on the wire are integral: an SNMP byte count is a
+		// whole number of bytes, and the generator's continuous loads
+		// only look non-integral because the model is. Quantizing here
+		// matches what a real collector emits and is what lets the xor
+		// codec reach its compression target — integral counts share
+		// ~28 trailing zero mantissa bits, full-precision noise shares
+		// none.
+		raw := links.RawData()
+		for i, v := range raw {
+			raw[i] = math.Round(v)
+		}
 		if *linksPath == "-" {
-			err = netanomaly.WriteMatrixBinary(os.Stdout, links)
+			err = netanomaly.WriteMatrixBinaryFormat(os.Stdout, links, wire)
 		} else {
-			err = netanomaly.SaveMatrixBinary(*linksPath, links)
+			err = saveBinary(*linksPath, links, wire)
 		}
 	default:
 		err = fmt.Errorf("unknown -format %q: want csv or binary", *format)
@@ -148,8 +187,12 @@ func main() {
 	// The seed is echoed so a logged run can be regenerated bin for bin:
 	// generation is deterministic in -seed (pinned by
 	// internal/traffic's reproducibility tests).
+	formatNote := *format
+	if *batchFrames > 0 {
+		formatNote = fmt.Sprintf("%s v2 %s x%d", *format, wire.Codec, wire.BatchBins)
+	}
 	fmt.Fprintf(banner, "wrote %d x %d link matrix%s (%s) to %s (%s: %d PoPs, %d links, %d flows; seed %d)\n",
-		*bins, topo.NumLinks(), metricNote, *format, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows(), *seed)
+		outBins, topo.NumLinks(), metricNote, formatNote, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows(), *seed)
 	for _, a := range anomalies {
 		fmt.Fprintf(banner, "injected %.3g bytes into flow %s at bin %d\n", a.Delta, topo.FlowName(a.Flow), a.Bin)
 	}
@@ -178,6 +221,18 @@ func parseTopology(name string, seed int64) (*netanomaly.Topology, error) {
 	default:
 		return nil, fmt.Errorf("unknown topology %q", name)
 	}
+}
+
+func saveBinary(path string, m *netanomaly.Matrix, wire netanomaly.WireFormat) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := netanomaly.WriteMatrixBinaryFormat(f, m, wire); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -61,12 +61,19 @@ func (d *failDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 	return nil, errors.New("scripted failure")
 }
 
-// encodeMarkers renders bins of marker-tagged link loads as one binary
-// stream.
+// encodeMarkers renders bins of marker-tagged link loads as one v1
+// binary stream.
 func encodeMarkers(t *testing.T, bins, links int) []byte {
 	t.Helper()
+	return encodeMarkersFormat(t, 0, bins, links, netmeas.WireFormat{})
+}
+
+// encodeMarkersFormat renders markers start..start+bins-1 as one binary
+// stream in the given wire format.
+func encodeMarkersFormat(t *testing.T, start, bins, links int, wf netmeas.WireFormat) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	if err := netmeas.WriteMatrixBinary(&buf, markerBatch(0, bins, links)); err != nil {
+	if err := netmeas.WriteMatrixBinaryFormat(&buf, markerBatch(start, bins, links), wf); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -106,6 +113,96 @@ func TestIngestBinaryEndToEnd(t *testing.T) {
 	}
 	if qs.EnqueuedBins != bins {
 		t.Fatalf("enqueued %d bins, want %d", qs.EnqueuedBins, bins)
+	}
+}
+
+// TestIngestBinaryMixedVersions feeds one view from collectors that
+// speak different wire formats — v1 per-bin frames, v2 raw batches, v2
+// xor batches with a capacity above the monitor's BatchSize — and
+// requires the marker sequence to arrive intact. This is the ingestd
+// deployment story: version negotiation is per connection, the engine
+// behind it is format-blind.
+func TestIngestBinaryMixedVersions(t *testing.T) {
+	const seg, links = 100, 5
+	det := &loadDetector{links: links}
+	m := NewMonitor(Config{Workers: 2, BatchSize: 64})
+	defer m.Close()
+	if err := m.AddDetectorView("v", det); err != nil {
+		t.Fatal(err)
+	}
+	streams := [][]byte{
+		encodeMarkersFormat(t, 0, seg, links, netmeas.WireFormat{}),
+		encodeMarkersFormat(t, seg, seg, links, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecRaw, BatchBins: 16}),
+		encodeMarkersFormat(t, 2*seg, seg, links, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecXOR, BatchBins: 128}),
+	}
+	for i, stream := range streams {
+		dec, err := netmeas.NewBinaryDecoder(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if err := m.IngestBinary("v", dec); err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		// Drain between streams so the three sources cannot interleave;
+		// within-stream FIFO plus sequential sources pins the order.
+		m.Flush()
+	}
+	requireIncreasingByOne(t, "v", det.seenMarkers(), 3*seg)
+}
+
+// TestIngestBinaryPoolReusedAcrossStreams pins the fix for the
+// per-stream pool warm-up: reconnecting collectors must hit the
+// shard's cached pool (one per batch capacity), not allocate a fresh
+// cold pool per stream.
+func TestIngestBinaryPoolReusedAcrossStreams(t *testing.T) {
+	const bins, links = 128, 4
+	det := &countDetector{links: links}
+	m := NewMonitor(Config{Workers: 1, BatchSize: 32})
+	defer m.Close()
+	if err := m.AddDetectorView("v", det); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.lookup("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := encodeMarkers(t, bins, links)
+	v2 := encodeMarkersFormat(t, 0, bins, links, netmeas.WireFormat{Version: 2, Codec: netmeas.CodecRaw, BatchBins: 80})
+	ingest := func(stream []byte) {
+		dec, err := netmeas.NewBinaryDecoder(bytes.NewReader(stream))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.IngestBinary("v", dec); err != nil {
+			t.Fatal(err)
+		}
+		m.Flush()
+	}
+	// Three v1 connections share the BatchSize-capacity pool; two v2
+	// connections with an 80-bin batch capacity share a second pool.
+	ingest(v1)
+	ingest(v1)
+	ingest(v1)
+	ingest(v2)
+	ingest(v2)
+	s.poolMu.Lock()
+	nPools := len(s.pools)
+	s.poolMu.Unlock()
+	if nPools != 2 {
+		t.Fatalf("shard caches %d pools, want 2 (one per batch capacity)", nPools)
+	}
+	for _, cap := range []int{32, 80} {
+		pool := s.batchPool(cap)
+		gets, puts := pool.Counters()
+		if gets == 0 {
+			t.Fatalf("capacity-%d pool never served a stream", cap)
+		}
+		if gets != puts {
+			t.Fatalf("capacity-%d pool gets %d != releases %d after streams drained", cap, gets, puts)
+		}
+	}
+	if got := det.Stats().Processed; got != 5*bins {
+		t.Fatalf("processed %d bins across reconnects, want %d", got, 5*bins)
 	}
 }
 
@@ -252,11 +349,12 @@ func TestIngestBinaryPoolLifecycleCloseMidStream(t *testing.T) {
 	}
 }
 
-// TestBinaryIngestAllocGate is the CI allocation gate: steady-state
-// binary ingest — decode, pooled batch hand-off, queueing, dispatch —
-// must stay under one heap allocation per bin by a wide margin (the
-// residue is per-stream setup and occasional queue growth, amortized
-// over 4096 bins per run).
+// TestBinaryIngestAllocGate is the CI allocation gate: after one
+// warm-up stream, binary ingest — decode, pooled batch hand-off,
+// queueing, dispatch — must stay at or below 0.01 heap allocations per
+// bin. The shard-cached batch pools made reconnects warm, so the only
+// tolerated residue is the per-stream decoder setup and the rare queue
+// regrowth, amortized over 4096 bins per run.
 func TestBinaryIngestAllocGate(t *testing.T) {
 	const bins, links = 4096, 120
 	det := &countDetector{links: links}
@@ -285,8 +383,15 @@ func TestBinaryIngestAllocGate(t *testing.T) {
 	run() // warm the pool and the queue's backing array
 	allocs := testing.AllocsPerRun(5, run)
 	perBin := allocs / bins
-	if perBin >= 1 {
-		t.Fatalf("binary ingest allocates %.3f per bin (%.0f per %d-bin stream), want amortized < 1", perBin, allocs, bins)
+	// The race detector makes sync.Pool drop Puts on purpose, so pooled
+	// buffers reallocate; only the non-race build can hold the tight
+	// bound.
+	limit := 0.01
+	if raceEnabled {
+		limit = 1
+	}
+	if perBin > limit {
+		t.Fatalf("binary ingest allocates %.4f per bin (%.0f per %d-bin stream), want amortized <= %v", perBin, allocs, bins, limit)
 	}
 	t.Logf("binary ingest: %.4f allocs/bin (%.0f per %d-bin stream)", perBin, allocs, bins)
 }

@@ -248,6 +248,21 @@ type Alarm struct {
 	core.Alarm
 }
 
+// ViewLimits overrides the monitor-wide queue bound and overload policy
+// for one view, so a latency-critical view can shed load while an
+// archival view on the same monitor applies backpressure. The zero
+// value inherits both Config values.
+type ViewLimits struct {
+	// MaxPending bounds this view's queue of unprocessed bins: 0
+	// inherits Config.MaxPending, a negative value makes the view
+	// explicitly unbounded, and a positive value is the bound (same
+	// semantics as Config.MaxPending otherwise).
+	MaxPending int
+	// Overload selects this view's full-queue behavior; nil inherits
+	// Config.Overload.
+	Overload *OverloadPolicy
+}
+
 // QueueStats is one view's ingest-queue accounting. At quiescence (after
 // Flush or Close) the counters reconcile with the detector:
 // EnqueuedBins - DroppedBins == ViewStats.Processed + QueuedBins, and
@@ -310,6 +325,20 @@ type shard struct {
 	links int
 	det   core.ViewDetector
 
+	// maxPending / overload are the view's resolved queue bound and
+	// full-queue policy — the monitor-wide Config values unless the view
+	// was registered with overriding ViewLimits. Fixed at registration,
+	// so the hot path reads them without a lock.
+	maxPending int
+	overload   OverloadPolicy
+
+	// poolMu guards pools, the shard's cached FrameBatch pools keyed by
+	// batch capacity. IngestBinary looks one up once per stream, so
+	// reconnecting collectors recycle warm buffers instead of growing a
+	// fresh pool per connection.
+	poolMu sync.Mutex
+	pools  map[int]*netmeas.FrameBatchPool
+
 	// procMu serializes detector ProcessBatch calls between the owning
 	// worker and synchronous Monitor.ProcessBatch, upholding the
 	// one-ProcessBatch-caller-at-a-time guarantee the ViewDetector
@@ -330,6 +359,22 @@ type shard struct {
 
 	errMu sync.Mutex
 	errs  []error
+}
+
+// batchPool returns the shard's FrameBatch pool for the capacity,
+// creating it on first use.
+func (s *shard) batchPool(bins int) *netmeas.FrameBatchPool {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	p, ok := s.pools[bins]
+	if !ok {
+		p = netmeas.NewFrameBatchPool(bins, s.links)
+		if s.pools == nil {
+			s.pools = make(map[int]*netmeas.FrameBatchPool, 1)
+		}
+		s.pools[bins] = p
+	}
+	return p
 }
 
 func (s *shard) recordErr(err error) {
@@ -491,7 +536,15 @@ func (m *Monitor) worker() {
 			m.dispatch.Wait()
 		}
 		s := m.ready[0]
-		m.ready = m.ready[1:]
+		// Compact instead of advancing the slice header: the dispatch
+		// list is short (at most one entry per shard), and keeping the
+		// slice anchored at the front of its backing array lets
+		// readyShard's append reuse it indefinitely — an advancing
+		// header forces a fresh allocation every time append runs off
+		// the array's end.
+		n := copy(m.ready, m.ready[1:])
+		m.ready[n] = nil
+		m.ready = m.ready[:n]
 		m.dispatchMu.Unlock()
 
 		s.qmu.Lock()
@@ -501,12 +554,16 @@ func (m *Monitor) worker() {
 			continue
 		}
 		batch := s.queue[0]
-		// Clear the slot: the advancing slice header would otherwise
-		// keep the batch reachable through its backing array, leaking
-		// processed (and under DropOldest, evicted) batches past the
-		// documented per-view memory bound.
-		s.queue[0] = queued{}
-		s.queue = s.queue[1:]
+		// Compact and zero the vacated tail slot: zeroing keeps the
+		// processed batch unreachable (the per-view memory bound), and
+		// compacting keeps the slice anchored at the front of its
+		// backing array so enqueue's append reuses it instead of
+		// reallocating — this pop runs once per batch on the hot path,
+		// and the queue is at most MaxPending/BatchSize entries, so the
+		// copy is a few words.
+		qn := copy(s.queue, s.queue[1:])
+		s.queue[qn] = queued{}
+		s.queue = s.queue[:qn]
 		s.queuedBins -= batch.m.Rows()
 		// Space opened up: wake Block-policy producers.
 		s.space.Broadcast()
@@ -588,6 +645,12 @@ func (m *Monitor) emit(a Alarm) {
 // monitor is running. For a different backend, construct any
 // core.ViewDetector and register it with AddDetectorView.
 func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
+	return m.AddViewLimits(name, history, routing, ViewLimits{})
+}
+
+// AddViewLimits is AddView with per-view queue limits overriding the
+// monitor-wide Config values.
+func (m *Monitor) AddViewLimits(name string, history, routing *mat.Dense, lim ViewLimits) error {
 	window := m.cfg.Window
 	if window <= 0 {
 		window = history.Rows()
@@ -600,7 +663,7 @@ func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
 	if err != nil {
 		return fmt.Errorf("engine: view %q: %w", name, err)
 	}
-	return m.AddDetectorView(name, det)
+	return m.AddDetectorViewLimits(name, det, lim)
 }
 
 // AddDetectorView registers a shard running an arbitrary streaming
@@ -609,9 +672,29 @@ func (m *Monitor) AddView(name string, history, routing *mat.Dense) error {
 // must already be seeded; its Stats().Links fixes the batch width the
 // view accepts.
 func (m *Monitor) AddDetectorView(name string, det core.ViewDetector) error {
+	return m.AddDetectorViewLimits(name, det, ViewLimits{})
+}
+
+// AddDetectorViewLimits is AddDetectorView with per-view queue limits
+// overriding the monitor-wide Config values (see ViewLimits).
+func (m *Monitor) AddDetectorViewLimits(name string, det core.ViewDetector, lim ViewLimits) error {
 	links := det.Stats().Links
 	if links <= 0 {
 		return fmt.Errorf("engine: view %q: detector reports %d links", name, links)
+	}
+	maxPending := m.cfg.MaxPending
+	switch {
+	case lim.MaxPending > 0:
+		maxPending = lim.MaxPending
+	case lim.MaxPending < 0:
+		maxPending = 0
+	}
+	overload := m.cfg.Overload
+	if lim.Overload != nil {
+		overload = *lim.Overload
+		if overload < OverloadBlock || overload > OverloadError {
+			return fmt.Errorf("engine: view %q: unknown overload policy %d", name, overload)
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -621,7 +704,7 @@ func (m *Monitor) AddDetectorView(name string, det core.ViewDetector) error {
 	if _, dup := m.shards[name]; dup {
 		return fmt.Errorf("engine: duplicate view %q", name)
 	}
-	s := &shard{name: name, links: links, det: det}
+	s := &shard{name: name, links: links, det: det, maxPending: maxPending, overload: overload}
 	s.space = sync.NewCond(&s.qmu)
 	m.shards[name] = s
 	return nil
@@ -672,7 +755,7 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 	if len(chunks) == 0 {
 		return nil
 	}
-	if m.cfg.MaxPending <= 0 {
+	if s.maxPending <= 0 {
 		m.addPending(len(chunks))
 		s.qmu.Lock()
 		base := s.enqueuedBins
@@ -714,8 +797,8 @@ func (m *Monitor) enqueue(s *shard, chunk *mat.Dense, rel releaser) error {
 	chunkBins := chunk.Rows()
 	m.addPending(1)
 	s.qmu.Lock()
-	if max := m.cfg.MaxPending; max > 0 {
-		switch m.cfg.Overload {
+	if max := s.maxPending; max > 0 {
+		switch s.overload {
 		case OverloadBlock:
 			for s.queuedBins > 0 && s.queuedBins+chunkBins > max {
 				s.space.Wait()
@@ -723,8 +806,12 @@ func (m *Monitor) enqueue(s *shard, chunk *mat.Dense, rel releaser) error {
 		case OverloadDropOldest:
 			for len(s.queue) > 0 && s.queuedBins+chunkBins > max {
 				old := s.queue[0]
-				s.queue[0] = queued{} // release the evicted batch to the GC
-				s.queue = s.queue[1:]
+				// Compact like the worker's pop: zero the vacated tail
+				// slot so the evicted batch is collectable, keep the
+				// array anchored for allocation-free re-append.
+				nq := copy(s.queue, s.queue[1:])
+				s.queue[nq] = queued{}
+				s.queue = s.queue[:nq]
 				s.queuedBins -= old.m.Rows()
 				s.droppedBins += int64(old.m.Rows())
 				s.droppedBatches++
@@ -831,7 +918,15 @@ func (m *Monitor) IngestBinary(view string, dec *netmeas.BinaryDecoder) error {
 	if dec.Links() != s.links {
 		return fmt.Errorf("engine: view %q: binary stream has %d links, want %d", view, dec.Links(), s.links)
 	}
-	return m.ingestBinaryPooled(s, dec, netmeas.NewFrameBatchPool(m.cfg.BatchSize, s.links))
+	// Size the batches so a whole v2 batch frame decodes straight into
+	// one pooled buffer, and cache the pool on the shard: a per-stream
+	// pool would cost a fresh warm-up of buffer allocations on every
+	// collector reconnect (the residual allocs/bin PR 6 measured).
+	bins := m.cfg.BatchSize
+	if b := dec.BatchBins(); b > bins {
+		bins = b
+	}
+	return m.ingestBinaryPooled(s, dec, s.batchPool(bins))
 }
 
 // ingestBinaryPooled is IngestBinary's loop with an injectable pool so

@@ -1,0 +1,9 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Under -race, sync.Pool intentionally drops some Puts to
+// widen the race window, so allocation gates that depend on pool
+// recycling loosen their thresholds.
+const raceEnabled = true

@@ -1,0 +1,281 @@
+package netmeas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// CodecXOR batch payload: Gorilla-style XOR/delta compression of each
+// link's load series, laid out link-major so every column compresses
+// against its own history (traffic counts on one link are smooth; two
+// adjacent links need not be). Per link, for a frame of n bins:
+//
+//	first   (8 bytes)          the link's first load, LE float64 bits
+//	trail   (1 byte, n > 1)    trailing zero bits dropped from every XOR
+//	width   (1 byte, n > 1)    bytes kept per subsequent load (0..8)
+//	deltas  ((n-1)*width bytes) (bits[i] XOR bits[i-1]) >> trail, LE
+//
+// trail and width are the column's canonical envelope: with
+// orAll = OR of all n-1 consecutive XORs, trail is orAll's trailing
+// zero count and width the byte length of orAll >> trail. A constant
+// column (orAll == 0) stores trail = width = 0 and no delta bytes, so
+// an idle link costs 10 bytes per batch regardless of n. Unlike classic
+// Gorilla the envelope is fixed for the whole column, which trades a
+// little compression for a branch-free fixed-stride decode loop — the
+// wire stays well under raw's 8 bytes/load on smooth series while
+// decoding within the engine's ns/bin budget.
+//
+// The decoder re-derives the envelope from the delta bytes it reads and
+// rejects a section whose declared (trail, width) is not the minimal
+// one, so each batch has exactly one accepted encoding and the
+// decode→re-encode round trip is byte-exact (the fuzz target's
+// canonical-re-encode property).
+
+// encodeXORFrame writes the XOR payload for rows (n bins x links,
+// bin-major) into dst and returns the payload length. dst must have 8
+// bytes of slack beyond the maximum payload: delta bytes are written
+// with full 8-byte stores advanced by width.
+func encodeXORFrame(dst []byte, rows []float64, n, links int) int {
+	pos := 0
+	for j := 0; j < links; j++ {
+		prev := math.Float64bits(rows[j])
+		binary.LittleEndian.PutUint64(dst[pos:], prev)
+		pos += 8
+		if n == 1 {
+			continue
+		}
+		var orAll uint64
+		p := prev
+		for i := 1; i < n; i++ {
+			b := math.Float64bits(rows[i*links+j])
+			orAll |= b ^ p
+			p = b
+		}
+		if orAll == 0 {
+			dst[pos] = 0
+			dst[pos+1] = 0
+			pos += 2
+			continue
+		}
+		trail := uint(bits.TrailingZeros64(orAll))
+		width := (bits.Len64(orAll>>trail) + 7) / 8
+		dst[pos] = byte(trail)
+		dst[pos+1] = byte(width)
+		pos += 2
+		p = prev
+		for i := 1; i < n; i++ {
+			b := math.Float64bits(rows[i*links+j])
+			binary.LittleEndian.PutUint64(dst[pos:], (b^p)>>trail)
+			pos += width
+			p = b
+		}
+	}
+	return pos
+}
+
+// decodeXORFrame decodes an XOR payload of plen bytes from buf into dst
+// (n bins x links, bin-major). buf must have 8 readable bytes beyond
+// plen: delta bytes are read with full 8-byte loads and masked to
+// width, so the slack is never interpreted. Structural violations — a
+// section overrunning the payload, a non-canonical envelope, leftover
+// bytes, a non-finite load — wrap ErrBinaryFormat.
+//
+// The wire is link-major and dst bin-major, so a naive section-at-a-
+// time decode scatters every store a full row apart and the row cache
+// lines fall out of L1 between revisits. Instead the sections are
+// parsed a stripe of 8 links at a time and the stripe decodes in
+// 16-bin chunks: within a chunk the 8 interleaved columns revisit the
+// same 16 destination lines while they are still hot, and the 8
+// independent XOR chains give the pipeline parallel work where one
+// chain alone would serialize on its previous value.
+//
+// A width-w delta shifted up by trail can only flip bits in
+// [trail, trail+8w). If some exponent bit outside that span is clear in
+// a column's first value, no value in the column can reach the all-ones
+// exponent of NaN/Inf — finiteness of the whole column follows from bin
+// 0 and the chunked loop drops its per-value check. Ordinary counter
+// data always qualifies: integral loads keep the deltas in the low
+// mantissa bytes and the magnitudes nowhere near the exponent ceiling.
+// A stripe with any unprovable column decodes through the per-value
+// checked loop instead.
+func decodeXORFrame(buf []byte, plen int, dst []float64, n, links int) error {
+	const (
+		stripe  = 8
+		chunk   = 32
+		expMask = 0x7ff0000000000000
+	)
+	src := buf[:plen]
+	pos := 0
+	for j0 := 0; j0 < links; j0 += stripe {
+		jmax := j0 + stripe
+		if jmax > links {
+			jmax = links
+		}
+		// Section descriptors for the stripe's non-constant columns.
+		var (
+			kpos [stripe]int    // next delta byte
+			wid  [stripe]int    // delta stride
+			tr   [stripe]uint   // shift back up
+			msk  [stripe]uint64 // keeps width bytes of an 8-byte load
+			pvs  [stripe]uint64 // running value bits
+			ors  [stripe]uint64 // OR of decoded deltas, for canonical checks
+			col  [stripe]int    // column index in dst
+			na   int
+		)
+		safe := true // every column's finiteness is proven by its first value
+		for j := j0; j < jmax; j++ {
+			if pos+8 > plen {
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d overruns payload: %w", j, ErrBinaryFormat)
+			}
+			prev := binary.LittleEndian.Uint64(src[pos:])
+			pos += 8
+			if prev&expMask == expMask {
+				return fmt.Errorf("netmeas: binary stream: non-finite load at bin 0 link %d: %w", j, ErrBinaryFormat)
+			}
+			dst[j] = math.Float64frombits(prev)
+			if n == 1 {
+				continue
+			}
+			if pos+2 > plen {
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d overruns payload: %w", j, ErrBinaryFormat)
+			}
+			trail := uint(src[pos])
+			width := int(src[pos+1])
+			pos += 2
+			if trail > 63 || width > 8 || (width == 0 && trail != 0) {
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d has invalid envelope (trail %d, width %d): %w", j, trail, width, ErrBinaryFormat)
+			}
+			if width == 0 {
+				v := math.Float64frombits(prev)
+				for i := 1; i < n; i++ {
+					dst[i*links+j] = v
+				}
+				continue
+			}
+			need := (n - 1) * width
+			if pos+need > plen {
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d overruns payload: %w", j, ErrBinaryFormat)
+			}
+			span := 8 * uint(width)
+			affected := ^uint64(0) << trail
+			mask := ^uint64(0)
+			if span < 64 {
+				affected = (uint64(1)<<span - 1) << trail
+				mask = uint64(1)<<span - 1
+			}
+			if unaff := uint64(expMask) &^ affected; prev&unaff == unaff {
+				safe = false
+			}
+			kpos[na], wid[na], tr[na], msk[na], pvs[na], col[na] = pos, width, trail, mask, prev, j
+			na++
+			pos += need
+		}
+		switch {
+		case na == 0:
+		case safe:
+			for i0 := 1; i0 < n; i0 += chunk {
+				i1 := i0 + chunk
+				if i1 > n {
+					i1 = n
+				}
+				for s := 0; s < na; s++ {
+					k, w, t, m := kpos[s], wid[s], tr[s], msk[s]
+					pv, or := pvs[s], ors[s]
+					idx := i0*links + col[s]
+					// 4x unrolled: the four loads and the delta OR tree
+					// run off the critical path, leaving only the
+					// one-cycle-per-value XOR chain serial.
+					i := i0
+					if w == 4 {
+						// Integral counters land on width 4 almost
+						// exclusively, and exact-width loads skip the
+						// mask and halve the load traffic.
+						for ; i+4 <= i1; i, k = i+4, k+16 {
+							s0 := uint64(binary.LittleEndian.Uint32(buf[k:]))
+							s1 := uint64(binary.LittleEndian.Uint32(buf[k+4:]))
+							s2 := uint64(binary.LittleEndian.Uint32(buf[k+8:]))
+							s3 := uint64(binary.LittleEndian.Uint32(buf[k+12:]))
+							or |= s0 | s1 | s2 | s3
+							p0 := (s0 << t) ^ pv
+							p1 := (s1 << t) ^ p0
+							p2 := (s2 << t) ^ p1
+							p3 := (s3 << t) ^ p2
+							dst[idx] = math.Float64frombits(p0)
+							dst[idx+links] = math.Float64frombits(p1)
+							dst[idx+2*links] = math.Float64frombits(p2)
+							dst[idx+3*links] = math.Float64frombits(p3)
+							idx += 4 * links
+							pv = p3
+						}
+					}
+					for ; i+4 <= i1; i, k = i+4, k+4*w {
+						s0 := binary.LittleEndian.Uint64(buf[k:]) & m
+						s1 := binary.LittleEndian.Uint64(buf[k+w:]) & m
+						s2 := binary.LittleEndian.Uint64(buf[k+2*w:]) & m
+						s3 := binary.LittleEndian.Uint64(buf[k+3*w:]) & m
+						or |= s0 | s1 | s2 | s3
+						p0 := (s0 << t) ^ pv
+						p1 := (s1 << t) ^ p0
+						p2 := (s2 << t) ^ p1
+						p3 := (s3 << t) ^ p2
+						dst[idx] = math.Float64frombits(p0)
+						dst[idx+links] = math.Float64frombits(p1)
+						dst[idx+2*links] = math.Float64frombits(p2)
+						dst[idx+3*links] = math.Float64frombits(p3)
+						idx += 4 * links
+						pv = p3
+					}
+					for ; i < i1; i, k = i+1, k+w {
+						stored := binary.LittleEndian.Uint64(buf[k:]) & m
+						or |= stored
+						pv = (stored << t) ^ pv
+						dst[idx] = math.Float64frombits(pv)
+						idx += links
+					}
+					kpos[s], pvs[s], ors[s] = k, pv, or
+				}
+			}
+		default:
+			for s := 0; s < na; s++ {
+				k, w, t, m := kpos[s], wid[s], tr[s], msk[s]
+				pv, or := pvs[s], ors[s]
+				j := col[s]
+				for i := 1; i < n; i++ {
+					stored := binary.LittleEndian.Uint64(buf[k:]) & m
+					k += w
+					or |= stored
+					pv = (stored << t) ^ pv
+					if pv&expMask == expMask {
+						return fmt.Errorf("netmeas: binary stream: non-finite load at bin %d link %d: %w", i, j, ErrBinaryFormat)
+					}
+					dst[i*links+j] = math.Float64frombits(pv)
+				}
+				ors[s] = or
+			}
+		}
+		// Canonical-envelope checks, in the same order the encoder fixes
+		// the envelope: all deltas zero must use width 0; trail must be
+		// maximal (some shifted delta is odd); width must be minimal (the
+		// top byte is used); and no delta may carry bits that the shift
+		// back up would push past 64 (those bits could not round-trip).
+		for s := 0; s < na; s++ {
+			orAcc, trail, width, j := ors[s], tr[s], wid[s], col[s]
+			switch {
+			case orAcc == 0:
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d is all-zero but width %d > 0: %w", j, width, ErrBinaryFormat)
+			case orAcc&1 == 0:
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d has non-maximal trail %d: %w", j, trail, ErrBinaryFormat)
+			case orAcc>>(8*uint(width-1)) == 0:
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d has non-minimal width %d: %w", j, width, ErrBinaryFormat)
+			case trail > 0 && orAcc>>(64-trail) != 0:
+				return fmt.Errorf("netmeas: binary stream: xor section for link %d has deltas overflowing the 64-bit shift: %w", j, ErrBinaryFormat)
+			}
+		}
+	}
+	if pos != plen {
+		return fmt.Errorf("netmeas: binary stream: %d trailing bytes after xor sections: %w", plen-pos, ErrBinaryFormat)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package netmeas
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(bins, links int) []float64 {
+	rng := rand.New(rand.NewSource(9))
+	amp := make([]float64, links)
+	phase := make([]float64, links)
+	for l := 0; l < links; l++ {
+		amp[l] = 1e7 * (1 + rng.Float64())
+		phase[l] = 2 * math.Pi * rng.Float64()
+	}
+	data := make([]float64, bins*links)
+	for b := 0; b < bins; b++ {
+		day := 2 * math.Pi * float64(b%144) / 144
+		for l := 0; l < links; l++ {
+			v := amp[l] * (1.2 + 0.8*math.Sin(day+phase[l]))
+			data[b*links+l] = math.Round(v + amp[l]*0.05*rng.NormFloat64())
+		}
+	}
+	return data
+}
+
+func BenchmarkXORDecodeOnly(b *testing.B) {
+	const bins, links = 1008, 120
+	data := benchMatrix(bins, links)
+	for _, codec := range []Codec{CodecRaw, CodecXOR} {
+		b.Run(codec.String(), func(b *testing.B) {
+			var buf bytes.Buffer
+			enc, err := NewBinaryEncoderFormat(&buf, links, WireFormat{Version: 2, Codec: codec, BatchBins: 64})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < bins; r++ {
+				if err := enc.WriteFrame(data[r*links : (r+1)*links]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			payload := buf.Bytes()
+			pool := NewFrameBatchPool(64, links)
+			rd := bytes.NewReader(payload)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rd.Reset(payload)
+				dec, err := NewBinaryDecoder(rd)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					fb := pool.Get()
+					rows, derr := dec.ReadBatch(fb)
+					fb.Release()
+					if rows == 0 || derr == io.EOF {
+						break
+					}
+					if derr != nil {
+						b.Fatal(derr)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(b.Elapsed().Seconds()/float64(b.N*bins)*1e9, "ns/bin")
+		})
+	}
+}

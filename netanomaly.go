@@ -314,6 +314,7 @@ type viewConfig struct {
 	triage     DetectorKind
 	escalation string
 	sketchSize int
+	limits     engine.ViewLimits
 }
 
 // ViewOption customizes the backend AddView builds.
@@ -382,6 +383,26 @@ func WithEscalation(policy string) ViewOption {
 // under that the sketch cannot hold the normal subspace — or below 4.
 func WithSketchSize(l int) ViewOption {
 	return func(vc *viewConfig) { vc.sketchSize = l }
+}
+
+// WithViewMaxPending bounds this view's queue of unprocessed bins,
+// overriding the monitor-wide WithMaxPending value: n > 0 is the bound,
+// n < 0 makes the view explicitly unbounded, and 0 (the default)
+// inherits the monitor's setting. A latency-critical view can shed load
+// while an archival view on the same monitor blocks, without splitting
+// them across monitors.
+func WithViewMaxPending(n int) ViewOption {
+	return func(vc *viewConfig) { vc.limits.MaxPending = n }
+}
+
+// WithViewOverloadPolicy selects this view's full-queue behavior,
+// overriding the monitor-wide WithOverloadPolicy value; views without
+// it inherit the monitor's policy.
+func WithViewOverloadPolicy(p OverloadPolicy) ViewOption {
+	return func(vc *viewConfig) {
+		pol := p
+		vc.limits.Overload = &pol
+	}
 }
 
 // WithLambda sets the incremental backend's forgetting factor in
@@ -453,7 +474,7 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 	var err error
 	switch vc.kind {
 	case DetectorSubspace:
-		return m.AddView(name, history, routing)
+		return m.AddViewLimits(name, history, routing, vc.limits)
 	case DetectorIncremental:
 		det, err = core.NewIncrementalDetector(history, routing, core.IncrementalConfig{
 			Lambda:     vc.lambda,
@@ -502,7 +523,7 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 	if err != nil {
 		return fmt.Errorf("netanomaly: view %q: %w", name, err)
 	}
-	return m.AddDetectorView(name, det)
+	return m.AddDetectorViewLimits(name, det, vc.limits)
 }
 
 // HybridDetector is the triage→identification backend behind
