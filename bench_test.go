@@ -9,6 +9,7 @@ package netanomaly_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
@@ -388,9 +389,11 @@ func (d *benchSinkDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 	d.n.Add(int64(y.Rows()))
 	return nil, nil
 }
-func (d *benchSinkDetector) Refit() error          { return nil }
-func (d *benchSinkDetector) WaitRefits()           {}
-func (d *benchSinkDetector) TakeRefitError() error { return nil }
+func (d *benchSinkDetector) Refit() error             { return nil }
+func (d *benchSinkDetector) WaitRefits()              {}
+func (d *benchSinkDetector) TakeRefitError() error    { return nil }
+func (d *benchSinkDetector) Snapshot(io.Writer) error { return nil }
+func (d *benchSinkDetector) Restore(io.Reader) error  { return nil }
 func (d *benchSinkDetector) Stats() core.ViewStats {
 	return core.ViewStats{Backend: "sink", Links: d.links, Processed: int(d.n.Load())}
 }
@@ -1171,4 +1174,71 @@ func BenchmarkAutoscaleThroughput(b *testing.B) {
 	}
 	b.ReportMetric(steadyRatio, "steady_time_ratio")
 	b.ReportMetric(burstSpeedup, "bursty_speedup")
+}
+
+// BenchmarkSnapshotRestore prices the checkpoint path per backend on
+// the Abilene-scale model: one op is Snapshot into a reused buffer plus
+// Restore into a second, separately constructed detector — the full
+// state migration a warm restart performs. snapshot-bytes reports the
+// envelope size, the quantity an operator budgets checkpoint storage
+// and transfer by; cmd/benchjson gates both against the committed
+// BENCH_snapshot.json baselines.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	d := experiments.AbileneSim()
+	links := d.Links
+	bins, _ := links.Dims()
+	routing := d.Topo.RoutingMatrix()
+	builders := []struct {
+		name  string
+		build func() (core.ViewDetector, error)
+	}{
+		{"subspace", func() (core.ViewDetector, error) {
+			return core.NewOnlineDetector(links, routing, core.OnlineConfig{Window: bins})
+		}},
+		{"incremental", func() (core.ViewDetector, error) {
+			return core.NewIncrementalDetector(links, routing, core.IncrementalConfig{})
+		}},
+		{"sketch", func() (core.ViewDetector, error) {
+			return core.NewSketchDetector(links, routing, core.SketchConfig{})
+		}},
+		{"ewma", func() (core.ViewDetector, error) {
+			return forecast.NewDetector(links, forecast.Config{Kind: forecast.EWMA})
+		}},
+		{"hybrid", func() (core.ViewDetector, error) {
+			triage, err := forecast.NewDetector(links, forecast.Config{Kind: forecast.EWMA})
+			if err != nil {
+				return nil, err
+			}
+			identify, err := core.NewOnlineDetector(links, routing, core.OnlineConfig{Window: bins})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewHybridDetector(triage, identify, links, core.HybridConfig{})
+		}},
+	}
+	for _, bl := range builders {
+		b.Run(bl.name, func(b *testing.B) {
+			src, err := bl.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst, err := bl.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf bytes.Buffer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := src.Snapshot(&buf); err != nil {
+					b.Fatal(err)
+				}
+				if err := dst.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(buf.Len()), "snapshot-bytes")
+		})
+	}
 }

@@ -5,14 +5,19 @@
 // ns/bin, read calls per bin, wire bytes/bin on the trafficgen Abilene
 // scenario, allocations per bin) and BENCH_sketch.json (sketch versus
 // incremental versus full-SVD refit cost, plus detection agreement
-// between the sketch and incremental backends on the spike scenario).
-// The files are committed per PR so the trajectory is visible in
-// review; CI reruns the tool and enforces the same hard gates the
-// benchmarks carry (binary >= 5x CSV with < 1 alloc/bin; v2 raw
-// >= 1.5x v1 with >= 10x fewer reads and <= 0.05 allocs/bin; xor
-// >= 2x compression within 1.3x the v1 decode baseline; sketch and
-// incremental flag the identical bin set), so a regression fails the
-// build even though absolute numbers move with the hardware.
+// between the sketch and incremental backends on the spike scenario)
+// and BENCH_snapshot.json (per-backend checkpoint envelope size plus
+// snapshot/restore/re-seed cost at m = 120, the currency of the
+// ingestd -checkpoint path). The files are committed per PR so the
+// trajectory is visible in review; CI reruns the tool and enforces the
+// same hard gates the benchmarks carry (binary >= 5x CSV with
+// < 1 alloc/bin; v2 raw >= 1.5x v1 with >= 10x fewer reads and
+// <= 0.05 allocs/bin; xor >= 2x compression within 1.3x the v1 decode
+// baseline; sketch and incremental flag the identical bin set; every
+// restored snapshot re-encodes byte-for-byte, a subspace restore beats
+// re-seeding >= 2x, and the sketch envelope stays <= 0.10x the
+// subspace one), so a regression fails the build even though absolute
+// numbers move with the hardware.
 //
 //	benchjson -out .
 package main
@@ -22,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"os"
@@ -34,6 +40,7 @@ import (
 	"netanomaly"
 	"netanomaly/internal/core"
 	"netanomaly/internal/engine"
+	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
 	"netanomaly/internal/topology"
@@ -89,6 +96,30 @@ type sketchReport struct {
 	Agreement           agreementReport `json:"agreement"`
 }
 
+type snapshotReport struct {
+	Benchmark string              `json:"benchmark"`
+	Links     int                 `json:"links"`
+	Bins      int                 `json:"bins"`
+	Backends  []backendSnapReport `json:"backends"`
+
+	// Gated structural ratios: the sketch's O(l x m) portable state must
+	// stay far below the subspace backend's full-window envelope, and a
+	// subspace restore must beat re-seeding from history (it skips the
+	// window SVD entirely — that is the point of serializing the model).
+	SketchVsSubspaceSize   float64 `json:"sketch_vs_subspace_size_ratio"`
+	SubspaceRestoreSpeedup float64 `json:"subspace_restore_vs_reseed_x"`
+}
+
+type backendSnapReport struct {
+	Backend          string  `json:"backend"`
+	SnapshotBytes    int     `json:"snapshot_bytes"`
+	SnapshotNs       float64 `json:"snapshot_ns"`
+	RestoreNs        float64 `json:"restore_ns"`
+	ReseedNs         float64 `json:"reseed_ns"`
+	RestoreVsReseedX float64 `json:"restore_vs_reseed_x"`
+	Canonical        bool    `json:"canonical_reencode"`
+}
+
 type agreementReport struct {
 	HistoryBins            int `json:"history_bins"`
 	StreamBins             int `json:"stream_bins"`
@@ -101,7 +132,7 @@ type agreementReport struct {
 }
 
 func main() {
-	outDir := flag.String("out", ".", "directory for BENCH_ingest.json and BENCH_sketch.json")
+	outDir := flag.String("out", ".", "directory for BENCH_ingest.json, BENCH_sketch.json and BENCH_snapshot.json")
 	flag.Parse()
 
 	ing, err := measureIngest()
@@ -116,6 +147,13 @@ func main() {
 		fatal(err)
 	}
 	if err := writeJSON(filepath.Join(*outDir, "BENCH_sketch.json"), sk); err != nil {
+		fatal(err)
+	}
+	snap, err := measureSnapshot()
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeJSON(filepath.Join(*outDir, "BENCH_snapshot.json"), snap); err != nil {
 		fatal(err)
 	}
 
@@ -164,12 +202,27 @@ func main() {
 			a.SketchFlaggedBins, a.IncrementalFlaggedBins, a.CommonFlaggedBins, a.SpikesCaughtByBoth, a.SpikesInjected)
 		failed = true
 	}
+	for _, bk := range snap.Backends {
+		if !bk.Canonical {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s snapshot does not re-encode byte-for-byte after restore\n", bk.Backend)
+			failed = true
+		}
+	}
+	if snap.SubspaceRestoreSpeedup < 2 {
+		fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: subspace restore is %.1fx a fresh re-seed, want >= 2x (restore must skip the window SVD)\n", snap.SubspaceRestoreSpeedup)
+		failed = true
+	}
+	if snap.SketchVsSubspaceSize > 0.1 {
+		fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: sketch snapshot is %.2fx the subspace envelope, want <= 0.10x\n", snap.SketchVsSubspaceSize)
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchjson: v1 ingest %.1fx CSV; v2 raw %.2fx v1 (%.1fx fewer reads, %.4f allocs/bin); xor %.2fx compression at %.2fx v1 decode cost; sketch refit %.0fx covtracker, %.0fx full SVD; agreement %d/%d bins\n",
+	fmt.Printf("benchjson: v1 ingest %.1fx CSV; v2 raw %.2fx v1 (%.1fx fewer reads, %.4f allocs/bin); xor %.2fx compression at %.2fx v1 decode cost; sketch refit %.0fx covtracker, %.0fx full SVD; agreement %d/%d bins; subspace restore %.0fx re-seed, sketch snapshot %.3fx subspace size\n",
 		ing.SpeedupVsCSV, ing.V2SpeedupVsV1, ing.ReadReduction, ing.V2AllocsPerBin, ing.XORCompression, ing.XORVsV1Ratio,
-		sk.SpeedupVsCovTracker, sk.SpeedupVsFullSVD, a.CommonFlaggedBins, a.IncrementalFlaggedBins)
+		sk.SpeedupVsCovTracker, sk.SpeedupVsFullSVD, a.CommonFlaggedBins, a.IncrementalFlaggedBins,
+		snap.SubspaceRestoreSpeedup, snap.SketchVsSubspaceSize)
 }
 
 // benchSink mirrors the root benchmark's counting detector: the ingest
@@ -184,9 +237,11 @@ func (d *benchSink) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 	d.n.Add(int64(y.Rows()))
 	return nil, nil
 }
-func (d *benchSink) Refit() error          { return nil }
-func (d *benchSink) WaitRefits()           {}
-func (d *benchSink) TakeRefitError() error { return nil }
+func (d *benchSink) Refit() error             { return nil }
+func (d *benchSink) WaitRefits()              {}
+func (d *benchSink) TakeRefitError() error    { return nil }
+func (d *benchSink) Snapshot(io.Writer) error { return nil }
+func (d *benchSink) Restore(io.Reader) error  { return nil }
 func (d *benchSink) Stats() core.ViewStats {
 	return core.ViewStats{Backend: "sink", Links: d.links, Processed: int(d.n.Load())}
 }
@@ -532,6 +587,122 @@ func measureAgreement() (*agreementReport, error) {
 		CommonFlaggedBins:      common,
 		SpikesCaughtByBoth:     caught,
 	}, nil
+}
+
+// measureSnapshot prices the portable-state path on the same
+// 1008-bin, 120-link trace the ingest benchmark uses: per backend, the
+// checkpoint envelope size and the cost of Snapshot, of Restore into a
+// separately constructed detector, and of re-seeding that detector
+// from scratch — the alternative a restore competes with. The size
+// ratio is a structural property of the formats; the restore-vs-reseed
+// ratio is timing, so the comparison re-runs a few times and only a
+// miss on every attempt reaches the gate.
+func measureSnapshot() (*snapshotReport, error) {
+	y := largeLinkTrace(ingestLinks)
+	bins := y.Rows()
+	routing := mat.Identity(ingestLinks)
+
+	builders := []struct {
+		name  string
+		build func() (core.ViewDetector, error)
+	}{
+		{"subspace", func() (core.ViewDetector, error) {
+			return core.NewOnlineDetector(y, routing, core.OnlineConfig{Window: bins})
+		}},
+		{"incremental", func() (core.ViewDetector, error) {
+			return core.NewIncrementalDetector(y, routing, core.IncrementalConfig{})
+		}},
+		{"sketch", func() (core.ViewDetector, error) {
+			return core.NewSketchDetector(y, routing, core.SketchConfig{})
+		}},
+		{"ewma", func() (core.ViewDetector, error) {
+			return forecast.NewDetector(y, forecast.Config{Kind: forecast.EWMA})
+		}},
+		{"hybrid", func() (core.ViewDetector, error) {
+			triage, err := forecast.NewDetector(y, forecast.Config{Kind: forecast.EWMA})
+			if err != nil {
+				return nil, err
+			}
+			identify, err := core.NewOnlineDetector(y, routing, core.OnlineConfig{Window: bins})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewHybridDetector(triage, identify, y, core.HybridConfig{})
+		}},
+	}
+
+	timeIt := func(reps int, f func() error) (float64, error) {
+		if err := f(); err != nil { // warm
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := f(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(reps), nil
+	}
+
+	rep := &snapshotReport{Benchmark: "SnapshotRestore", Links: ingestLinks, Bins: bins}
+	const attempts = 3
+	for a := 0; a < attempts; a++ {
+		rep.Backends = rep.Backends[:0]
+		sizes := map[string]int{}
+		for _, bl := range builders {
+			src, err := bl.build()
+			if err != nil {
+				return nil, err
+			}
+			reseedNs, err := timeIt(1, func() error {
+				_, err := bl.build()
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			snapNs, err := timeIt(5, func() error {
+				buf.Reset()
+				return src.Snapshot(&buf)
+			})
+			if err != nil {
+				return nil, err
+			}
+			dst, err := bl.build()
+			if err != nil {
+				return nil, err
+			}
+			restNs, err := timeIt(5, func() error {
+				return dst.Restore(bytes.NewReader(buf.Bytes()))
+			})
+			if err != nil {
+				return nil, err
+			}
+			var again bytes.Buffer
+			if err := dst.Snapshot(&again); err != nil {
+				return nil, err
+			}
+			sizes[bl.name] = buf.Len()
+			rep.Backends = append(rep.Backends, backendSnapReport{
+				Backend:          bl.name,
+				SnapshotBytes:    buf.Len(),
+				SnapshotNs:       round1(snapNs),
+				RestoreNs:        round1(restNs),
+				ReseedNs:         round1(reseedNs),
+				RestoreVsReseedX: round1(reseedNs / restNs),
+				Canonical:        bytes.Equal(buf.Bytes(), again.Bytes()),
+			})
+			if bl.name == "subspace" {
+				rep.SubspaceRestoreSpeedup = round1(reseedNs / restNs)
+			}
+		}
+		rep.SketchVsSubspaceSize = math.Round(1e4*float64(sizes["sketch"])/float64(sizes["subspace"])) / 1e4
+		if rep.SubspaceRestoreSpeedup >= 2 {
+			break
+		}
+	}
+	return rep, nil
 }
 
 func round1(v float64) float64 { return math.Round(v*10) / 10 }

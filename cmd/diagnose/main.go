@@ -112,6 +112,7 @@ func main() {
 	overload := flag.String("overload", "block", "streaming: full-queue policy — block, dropoldest, or error")
 	autoscale := flag.String("autoscale", "", "streaming: elastic worker pool as min:max (empty = fixed pool)")
 	burst := flag.Int("burst", 0, "streaming: ingest the stream in bursts of this many bins at once instead of replaying it bin by bin (stress mode; pair with -max-pending)")
+	restorePath := flag.String("restore", "", "streaming: warm-start the view from a checkpoint file (as written by ingestd -checkpoint) instead of starting fresh; -history/-detector flags must match the checkpointed run")
 	listen := flag.String("listen", "", "accept binary streams on this TCP address instead of replaying the tail of -links (seeds on the whole matrix)")
 	conns := flag.Int("conns", 1, "listen mode: exit after this many connections")
 	codecPolicy := flag.String("codec", "any", "listen mode: accept streams with this codec — any, raw, or xor (v1 streams count as raw)")
@@ -145,6 +146,7 @@ func main() {
 			sketchSize: *sketchSize,
 			maxPending: *maxPending,
 			burst:      *burst,
+			restore:    *restorePath,
 		}
 		policy, err := netanomaly.ParseOverloadPolicy(*overload)
 		if err != nil {
@@ -226,6 +228,7 @@ type streamConfig struct {
 	autoscale                  bool
 	autoscaleMin, autoscaleMax int
 	burst                      int
+	restore                    string
 }
 
 // parseAutoscale splits a min:max worker-bound pair.
@@ -294,7 +297,7 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	if sc.autoscale {
 		monOpts = append(monOpts, netanomaly.WithAutoscale(sc.autoscaleMin, sc.autoscaleMax))
 	}
-	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
+	monCfg := netanomaly.MonitorConfig{
 		BatchSize:  sc.batch,
 		RefitEvery: sc.refitEvery,
 		Options:    opts,
@@ -305,13 +308,39 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 			// Seq counts from the first streamed bin; print absolute
 			// bins. Bins dropped by the overload policy raise no alarms
 			// but still advance Seq, so the printed bin is the alarm's
-			// true stream position even after drops.
+			// true stream position even after drops. A restored run's Seq
+			// continues from the checkpoint, so the numbering stays
+			// consistent across the restart.
 			printAlarm(topo, sc.history+a.Seq, a.Diagnosis)
 		},
-	}, monOpts...)
-	const view = "stream"
-	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
-		fatal(err)
+	}
+	var mon *netanomaly.Monitor
+	view := "stream"
+	if sc.restore != "" {
+		// Warm start: the ViewSpec rebuilds the detector shell from the
+		// same seed history and options, then the checkpoint replaces
+		// its state. The nameless spec matches whatever the writing
+		// process called its (single) view.
+		f, err := os.Open(sc.restore)
+		if err != nil {
+			fatal(err)
+		}
+		spec := netanomaly.ViewSpec{History: history, Topo: topo, Options: viewOpts}
+		mon, err = netanomaly.Restore(monCfg, f, []netanomaly.ViewSpec{spec}, monOpts...)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("restore %s: %w", sc.restore, err))
+		}
+		views := mon.Views()
+		if len(views) != 1 {
+			fatal(fmt.Errorf("restore %s: checkpoint holds %d views, diagnose streams exactly one", sc.restore, len(views)))
+		}
+		view = views[0]
+	} else {
+		mon = netanomaly.NewMonitor(monCfg, monOpts...)
+		if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
+			fatal(err)
+		}
 	}
 	// Grab the detector handle before Close (lookups fail afterwards);
 	// the hybrid kind prints its two-stage breakdown at the end.
@@ -330,8 +359,13 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		// subspace rank to report.
 		rankNote = "per-scale/per-link models"
 	}
-	fmt.Printf("streaming: %s model seeded on %d bins (%d measurement columns, %s), %d bins to go in batches of %d\n",
-		stats.Backend, sc.history, stats.Links, rankNote, bins-sc.history, sc.batch)
+	if sc.restore != "" {
+		fmt.Printf("streaming: %s model restored from %s at bin %d (%d measurement columns, %s), %d bins to go in batches of %d\n",
+			stats.Backend, sc.restore, stats.Processed, stats.Links, rankNote, bins-sc.history, sc.batch)
+	} else {
+		fmt.Printf("streaming: %s model seeded on %d bins (%d measurement columns, %s), %d bins to go in batches of %d\n",
+			stats.Backend, sc.history, stats.Links, rankNote, bins-sc.history, sc.batch)
+	}
 	printHeader()
 	rest := netanomaly.NewMatrix(bins-sc.history, m, links.RawData()[sc.history*m:])
 	failed := false

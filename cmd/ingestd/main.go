@@ -38,10 +38,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"netanomaly"
 )
@@ -64,6 +66,8 @@ func main() {
 	maxPending := flag.Int("max-pending", 0, "bound on queued unprocessed bins (0 = unbounded)")
 	overload := flag.String("overload", "block", "full-queue policy: block, dropoldest, or error")
 	codecPolicy := flag.String("codec", "any", "accept streams with this codec: any, raw, or xor (v1 streams count as raw)")
+	checkpointDir := flag.String("checkpoint", "", "directory for warm-restart checkpoints: load on start, write on drain (empty = off)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint after every n newly processed bins (0 = only at drain)")
 	flag.Parse()
 
 	switch *codecPolicy {
@@ -104,7 +108,7 @@ func main() {
 
 	var alarmMu sync.Mutex
 	alarms := 0
-	mon := netanomaly.NewMonitor(netanomaly.MonitorConfig{
+	monCfg := netanomaly.MonitorConfig{
 		BatchSize:  *batchSize,
 		RefitEvery: *refitEvery,
 		Options:    netanomaly.Options{Confidence: *confidence, Rank: *rank},
@@ -119,17 +123,85 @@ func main() {
 			fmt.Printf("alarm bin %d: SPE %.4g > %.4g, flow %s, %.4g bytes\n",
 				a.Seq, a.SPE, a.Threshold, flow, a.Bytes)
 		},
-	}, netanomaly.WithMaxPending(*maxPending), netanomaly.WithOverloadPolicy(policy))
+	}
+	monOpts := []netanomaly.MonitorOption{netanomaly.WithMaxPending(*maxPending), netanomaly.WithOverloadPolicy(policy)}
 	const view = "net"
-	if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
-		fatal(err)
+
+	// With -checkpoint, an existing checkpoint file warm-starts the
+	// monitor — the detector resumes mid-stream with its accumulated
+	// window, model and sequence numbering — and the same file is
+	// rewritten (atomically, via rename) at drain and, with
+	// -checkpoint-every, periodically as bins are processed.
+	ckptFile := ""
+	if *checkpointDir != "" {
+		ckptFile = filepath.Join(*checkpointDir, "checkpoint.nams")
+	}
+	var mon *netanomaly.Monitor
+	restored := false
+	if ckptFile != "" {
+		if f, err := os.Open(ckptFile); err == nil {
+			spec := netanomaly.ViewSpec{Name: view, History: history, Topo: topo, Options: viewOpts}
+			mon, err = netanomaly.Restore(monCfg, f, []netanomaly.ViewSpec{spec}, monOpts...)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("restore %s: %w", ckptFile, err))
+			}
+			restored = true
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fatal(err)
+		}
+	}
+	if mon == nil {
+		mon = netanomaly.NewMonitor(monCfg, monOpts...)
+		if err := netanomaly.AddView(mon, view, history, topo, viewOpts...); err != nil {
+			fatal(err)
+		}
 	}
 	stats, err := mon.ViewStats(view)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("ingestd: %s model seeded on %d bins (%s: %d links, rank %d)\n",
-		stats.Backend, history.Rows(), topo.Name(), stats.Links, stats.Rank)
+	if restored {
+		fmt.Printf("ingestd: %s model restored from %s at bin %d (%s: %d links, rank %d)\n",
+			stats.Backend, ckptFile, stats.Processed, topo.Name(), stats.Links, stats.Rank)
+	} else {
+		fmt.Printf("ingestd: %s model seeded on %d bins (%s: %d links, rank %d)\n",
+			stats.Backend, history.Rows(), topo.Name(), stats.Links, stats.Rank)
+	}
+
+	// The periodic checkpointer polls processed-bin progress and rewrites
+	// the checkpoint whenever at least -checkpoint-every new bins have
+	// been processed since the last write. Checkpoint quiesces the view
+	// at the next idle instant between batches, so a write never splits
+	// a batch.
+	stopCkpt := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	if ckptFile != "" && *checkpointEvery > 0 {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			last := stats.Processed
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					vs, err := mon.ViewStats(view)
+					if err != nil || vs.Processed-last < *checkpointEvery {
+						continue
+					}
+					if err := writeCheckpoint(mon, ckptFile); err != nil {
+						fmt.Fprintln(os.Stderr, "ingestd: checkpoint:", err)
+						continue
+					}
+					last = vs.Processed
+					fmt.Printf("ingestd: checkpoint written at bin %d\n", vs.Processed)
+				}
+			}
+		}()
+	}
 
 	// Every stream source funnels into serve; the WaitGroup holds the
 	// final stats back until in-flight connections finish.
@@ -229,7 +301,19 @@ func main() {
 		os.Remove(*socketPath)
 	}
 	wg.Wait()
+	close(stopCkpt)
+	ckptWG.Wait()
 	mon.Close()
+	// Close drained every queue, which is exactly the quiesced state the
+	// final checkpoint wants: the next start resumes from the last bin
+	// this process handed to a detector.
+	if ckptFile != "" {
+		if err := writeCheckpoint(mon, ckptFile); err != nil {
+			fmt.Fprintln(os.Stderr, "ingestd: final checkpoint:", err)
+		} else {
+			fmt.Printf("ingestd: checkpoint written to %s\n", ckptFile)
+		}
+	}
 	failed := false
 	for _, err := range mon.Errs() {
 		fmt.Fprintln(os.Stderr, "ingestd:", err)
@@ -239,12 +323,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Per-view queue accounting at drain: with the processed-bin line
+	// below it makes a restart or migration reconcilable from logs alone
+	// (EnqueuedBins - DroppedBins == Processed at quiescence).
+	for _, v := range mon.Views() {
+		qs, err := mon.QueueStats(v)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("ingestd: view %q queue: depth high-water %d bins, enqueued %d, dropped %d bins (%d batches), rejected %d\n",
+			v, qs.DepthHighWater, qs.EnqueuedBins, qs.DroppedBins, qs.DroppedBatches, qs.RejectedBins)
+	}
 	ms := mon.Stats()
 	fmt.Printf("ingestd: %d streams, %d bins processed, %d alarms, %d refits; dropped %d bins, rejected %d\n",
 		served.Load(), vs.Processed, alarms, vs.Refits, ms.DroppedBins, ms.RejectedBins)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeCheckpoint writes the monitor checkpoint next to its final path
+// and renames it into place, so a crash mid-write leaves the previous
+// checkpoint intact and a reader never sees a torn file.
+func writeCheckpoint(mon *netanomaly.Monitor, path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".checkpoint-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := mon.Checkpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // loadMatrixSniffed reads a link matrix in either supported encoding,

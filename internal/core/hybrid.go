@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"sync"
@@ -465,6 +466,80 @@ func (d *HybridDetector) Stats() ViewStats {
 		Rank:      d.identify.Stats().Rank,
 		Refits:    refits,
 	}
+}
+
+// Snapshot serializes the clean-bin window, the escalation run and
+// counters, and then both stage detectors' own envelopes nested inside
+// the payload — everything ProcessBatch's sequence rebasing relies on
+// (the stage processed counters travel inside the stage envelopes). The
+// hybrid's gate is taken first so an in-flight identify re-seed is
+// waited out; each stage Snapshot then takes its own gate.
+func (d *HybridDetector) Snapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return EncodeSnapshot(w, SnapKindHybrid, func(sw *SnapshotWriter) {
+		sw.Int(d.links)
+		sw.RowRing(d.window)
+		sw.Int(d.processed)
+		sw.Int(d.run)
+		sw.Int(d.sinceRefit)
+		sw.Int(d.refits)
+		sw.Int(d.triageAlarms)
+		sw.Int(d.escalated)
+		sw.Int(d.identified)
+		sw.Int(d.suppressed)
+		sw.Nested(d.triage.Snapshot)
+		sw.Nested(d.identify.Snapshot)
+	})
+}
+
+// Restore replaces the hybrid's window, counters, and both stage
+// detectors' state with a snapshot from an identically composed hybrid
+// (same stage kinds, same link count; escalation policy and re-seed
+// cadence stay the receiver's). Stage state is restored through the
+// stages' own Restore, so a snapshot whose nested stage kinds do not
+// match the receiver's stages is rejected; if a stage restore fails the
+// hybrid should be discarded, as the stages may no longer agree.
+func (d *HybridDetector) Restore(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return DecodeSnapshot(r, SnapKindHybrid, func(sr *SnapshotReader) error {
+		links := sr.Int()
+		if sr.Err() == nil && links != d.links {
+			return SnapshotMismatchf("snapshot has %d links, detector expects %d", links, d.links)
+		}
+		window := sr.RowRing(d.links)
+		processed := sr.NonNegInt()
+		run := sr.NonNegInt()
+		sinceRefit := sr.NonNegInt()
+		refits := sr.NonNegInt()
+		triageAlarms := sr.NonNegInt()
+		escalated := sr.NonNegInt()
+		identified := sr.NonNegInt()
+		suppressed := sr.NonNegInt()
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		sr.Nested(d.triage.Restore)
+		sr.Nested(d.identify.Restore)
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		d.window = window
+		d.processed = processed
+		d.run = run
+		d.sinceRefit = sinceRefit
+		d.refits = refits
+		d.triageAlarms = triageAlarms
+		d.escalated = escalated
+		d.identified = identified
+		d.suppressed = suppressed
+		return nil
+	})
 }
 
 // HybridStats reports the two-stage breakdown: per-stage detector

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -63,6 +64,9 @@ func (s *stubStage) Refit() error {
 }
 
 func (s *stubStage) WaitRefits() {}
+
+func (s *stubStage) Snapshot(io.Writer) error { return nil }
+func (s *stubStage) Restore(io.Reader) error  { return nil }
 
 func (s *stubStage) TakeRefitError() error {
 	s.mu.Lock()

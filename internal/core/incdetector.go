@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -321,6 +322,95 @@ func (d *IncrementalDetector) Stats() ViewStats {
 		Rank:      d.diag.Load().Detector().Model().Rank(),
 		Refits:    refits,
 	}
+}
+
+// Snapshot serializes the covariance tracker's moments (count, mean,
+// covariance), the forgetting factor, the retained rank, the counters,
+// and the exact active model. The refit gate is taken first so an
+// in-flight rebuild is waited out, never captured mid-swap.
+func (d *IncrementalDetector) Snapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return EncodeSnapshot(w, SnapKindIncremental, func(sw *SnapshotWriter) {
+		sw.Int(d.links)
+		sw.F64(d.lambda)
+		sw.Int(d.tracker.n)
+		sw.Floats(d.tracker.mean)
+		sw.Matrix(d.tracker.cov)
+		sw.Int(d.rank)
+		sw.Int(d.processed)
+		sw.Int(d.sinceRefit)
+		sw.Int(d.refits)
+		sw.Int(d.skipped)
+		encodeDiagnoser(sw, d.diag.Load())
+	})
+}
+
+// Restore replaces the tracker, counters, and active model with a
+// snapshot from an identically configured incremental detector. The
+// snapshot's forgetting factor must match the receiver's — a tracker
+// restored under a different lambda would silently diverge — and the
+// state commits only after the whole payload validates.
+func (d *IncrementalDetector) Restore(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return DecodeSnapshot(r, SnapKindIncremental, func(sr *SnapshotReader) error {
+		links := sr.Int()
+		if sr.Err() == nil && links != d.links {
+			return SnapshotMismatchf("snapshot has %d links, detector expects %d", links, d.links)
+		}
+		lambda := sr.F64()
+		if sr.Err() == nil && lambda != d.lambda {
+			return SnapshotMismatchf("snapshot forgetting factor %v, detector uses %v", lambda, d.lambda)
+		}
+		n := sr.NonNegInt()
+		mean := sr.Floats()
+		cov := sr.Matrix()
+		rank := sr.NonNegInt()
+		processed := sr.NonNegInt()
+		sinceRefit := sr.NonNegInt()
+		refits := sr.NonNegInt()
+		skipped := sr.NonNegInt()
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		if len(mean) != d.links {
+			return snapshotFormatf("tracker mean has %d entries, want %d", len(mean), d.links)
+		}
+		if cov == nil {
+			return snapshotFormatf("tracker covariance missing")
+		}
+		if rows, cols := cov.Dims(); rows != d.links || cols != d.links {
+			return snapshotFormatf("tracker covariance is %dx%d, want %dx%d", rows, cols, d.links, d.links)
+		}
+		if rank < 1 || rank >= d.links {
+			return snapshotFormatf("retained rank %d out of [1, %d]", rank, d.links-1)
+		}
+		diag, err := decodeDiagnoser(sr, d.a, d.links)
+		if err != nil {
+			return err
+		}
+		d.tracker = &CovTracker{
+			dim:    d.links,
+			lambda: d.lambda,
+			n:      n,
+			mean:   mean,
+			cov:    cov,
+			delta:  make([]float64, d.links),
+			delta2: make([]float64, d.links),
+		}
+		d.rank = rank
+		d.processed = processed
+		d.sinceRefit = sinceRefit
+		d.refits = refits
+		d.skipped = skipped
+		d.diag.Store(diag)
+		return nil
+	})
 }
 
 // SkippedRebuilds returns how many automatic rebuild intervals solved a

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -320,6 +321,60 @@ func (o *OnlineDetector) WaitRefits() { o.gate.Wait() }
 // shutdown paths that stop processing (engine Flush/Errs) and would
 // otherwise never observe a failure from the final refit.
 func (o *OnlineDetector) TakeRefitError() error { return o.gate.TakeError() }
+
+// Snapshot serializes the sliding window, the counters, and the exact
+// active model as a NAMS envelope. It takes the refit gate first, so a
+// background fit in flight is waited out rather than captured
+// half-swapped, and no new fit can start mid-serialization.
+func (o *OnlineDetector) Snapshot(w io.Writer) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.gate.BeginLocked()
+	defer o.gate.EndLocked(nil)
+	return EncodeSnapshot(w, SnapKindSubspace, func(sw *SnapshotWriter) {
+		sw.Int(o.links)
+		sw.RowRing(o.window)
+		sw.Int(o.processed)
+		sw.Int(o.sinceRefit)
+		sw.Int(o.refits)
+		encodeDiagnoser(sw, o.diag.Load())
+	})
+}
+
+// Restore replaces the window, counters, and active model with a
+// snapshot from an identically configured subspace detector. The
+// decoded state is committed only after the whole payload validates;
+// a rejected snapshot leaves the receiver untouched. The receiver's
+// routing matrix, refit cadence, and options stay in force.
+func (o *OnlineDetector) Restore(r io.Reader) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.gate.BeginLocked()
+	defer o.gate.EndLocked(nil)
+	return DecodeSnapshot(r, SnapKindSubspace, func(sr *SnapshotReader) error {
+		links := sr.Int()
+		if sr.Err() == nil && links != o.links {
+			return SnapshotMismatchf("snapshot has %d links, detector expects %d", links, o.links)
+		}
+		window := sr.RowRing(o.links)
+		processed := sr.NonNegInt()
+		sinceRefit := sr.NonNegInt()
+		refits := sr.NonNegInt()
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		diag, err := decodeDiagnoser(sr, o.a, o.links)
+		if err != nil {
+			return err
+		}
+		o.window = window
+		o.processed = processed
+		o.sinceRefit = sinceRefit
+		o.refits = refits
+		o.diag.Store(diag)
+		return nil
+	})
+}
 
 // Diagnoser returns the currently active model pipeline. The returned
 // value is immutable; a concurrent refit swaps in a new one rather than

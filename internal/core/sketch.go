@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -551,6 +552,103 @@ func (d *SketchDetector) Stats() ViewStats {
 		Rank:      d.diag.Load().Detector().Model().Rank(),
 		Refits:    refits,
 	}
+}
+
+// Snapshot serializes the Frequent-Directions buffer (all ell rows,
+// occupancy, running mean, inserted count, shed energy), the retained
+// rank, the counters, and the exact active model. The refit gate is
+// taken first so an in-flight rebuild is waited out, never captured
+// mid-swap.
+func (d *SketchDetector) Snapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return EncodeSnapshot(w, SnapKindSketch, func(sw *SnapshotWriter) {
+		sw.Int(d.links)
+		sw.Int(d.ell)
+		sw.Matrix(d.sk.b)
+		sw.Int(d.sk.used)
+		sw.Floats(d.sk.mean)
+		sw.Int(d.sk.n)
+		sw.F64(d.sk.energy)
+		sw.Int(d.rank)
+		sw.Int(d.processed)
+		sw.Int(d.sinceRefit)
+		sw.Int(d.refits)
+		sw.Int(d.skipped)
+		encodeDiagnoser(sw, d.diag.Load())
+	})
+}
+
+// Restore replaces the sketch, counters, and active model with a
+// snapshot from an identically configured sketch detector. The
+// snapshot's sketch size must match the receiver's ell — the buffer
+// shape is construction configuration — and the state commits only
+// after the whole payload validates.
+func (d *SketchDetector) Restore(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return DecodeSnapshot(r, SnapKindSketch, func(sr *SnapshotReader) error {
+		links := sr.Int()
+		if sr.Err() == nil && links != d.links {
+			return SnapshotMismatchf("snapshot has %d links, detector expects %d", links, d.links)
+		}
+		ell := sr.Int()
+		if sr.Err() == nil && ell != d.ell {
+			return SnapshotMismatchf("snapshot sketch size %d, detector uses %d", ell, d.ell)
+		}
+		b := sr.Matrix()
+		used := sr.NonNegInt()
+		mean := sr.Floats()
+		n := sr.NonNegInt()
+		energy := sr.F64()
+		rank := sr.NonNegInt()
+		processed := sr.NonNegInt()
+		sinceRefit := sr.NonNegInt()
+		refits := sr.NonNegInt()
+		skipped := sr.NonNegInt()
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		if b == nil {
+			return snapshotFormatf("sketch buffer missing")
+		}
+		if rows, cols := b.Dims(); rows != d.ell || cols != d.links {
+			return snapshotFormatf("sketch buffer is %dx%d, want %dx%d", rows, cols, d.ell, d.links)
+		}
+		if used > d.ell {
+			return snapshotFormatf("sketch occupancy %d over size %d", used, d.ell)
+		}
+		if len(mean) != d.links {
+			return snapshotFormatf("sketch mean has %d entries, want %d", len(mean), d.links)
+		}
+		if rank < 1 || rank >= d.links {
+			return snapshotFormatf("retained rank %d out of [1, %d]", rank, d.links-1)
+		}
+		diag, err := decodeDiagnoser(sr, d.a, d.links)
+		if err != nil {
+			return err
+		}
+		d.sk = &FDSketch{
+			m:      d.links,
+			ell:    d.ell,
+			b:      b,
+			used:   used,
+			mean:   mean,
+			n:      n,
+			energy: energy,
+		}
+		d.rank = rank
+		d.processed = processed
+		d.sinceRefit = sinceRefit
+		d.refits = refits
+		d.skipped = skipped
+		d.diag.Store(diag)
+		return nil
+	})
 }
 
 // SkippedRebuilds returns how many automatic rebuild intervals solved a

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"netanomaly/internal/mat"
+)
+
+// snapshotHistory builds a small deterministic link-load history with
+// enough structure for a rank-deficient normal subspace: a shared
+// diurnal component plus per-link phase and a little deterministic
+// noise.
+func snapshotHistory(bins, links int) *mat.Dense {
+	h := mat.Zeros(bins, links)
+	for b := 0; b < bins; b++ {
+		for l := 0; l < links; l++ {
+			base := 1e6 * float64(l+1)
+			diurnal := 1 + 0.3*math.Sin(2*math.Pi*float64(b)/24+float64(l))
+			noise := 1 + 0.005*math.Sin(float64(b*(l+3)))*math.Cos(float64(7*b+l))
+			h.Set(b, l, base*diurnal*noise)
+		}
+	}
+	return h
+}
+
+// snapshotOnline builds the small subspace detector the taxonomy tests
+// and the fuzz harness restore into.
+func snapshotOnline(t testing.TB, links int) *OnlineDetector {
+	t.Helper()
+	history := snapshotHistory(48, links)
+	det, err := NewOnlineDetector(history, mat.Identity(links), OnlineConfig{Window: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// TestSnapshotRoundTripCanonical pins the tentpole contract at the
+// detector level: state moved through Snapshot/Restore yields the same
+// alarm stream as the original, and an accepted snapshot re-encodes
+// byte-for-byte (the canonical-encoding property the fuzz harness
+// relies on).
+func TestSnapshotRoundTripCanonical(t *testing.T) {
+	const links = 4
+	orig := snapshotOnline(t, links)
+	probe := snapshotHistory(64, links)
+	if _, err := orig.ProcessBatch(mat.NewDense(8, links, probe.RawData()[:8*links])); err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := orig.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := snapshotOnline(t, links)
+	if err := restored.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	var again bytes.Buffer
+	if err := restored.Snapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), again.Bytes()) {
+		t.Fatalf("restore→snapshot is not byte-identical: %d vs %d bytes", snap.Len(), again.Len())
+	}
+
+	if got, want := restored.Stats(), orig.Stats(); got != want {
+		t.Fatalf("restored stats %+v, original %+v", got, want)
+	}
+	tail := mat.NewDense(16, links, probe.RawData()[8*links:24*links])
+	// Spike one bin so alarm payloads (not just counts) are compared.
+	tail.Set(5, 2, tail.At(5, 2)*3)
+	wantAlarms, err := orig.ProcessBatch(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAlarms, err := restored.ProcessBatch(tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotAlarms, wantAlarms) {
+		t.Fatalf("restored alarm stream diverged:\n got %+v\nwant %+v", gotAlarms, wantAlarms)
+	}
+	if len(wantAlarms) == 0 {
+		t.Fatal("probe spike raised no alarms; the equality check proved nothing")
+	}
+}
+
+// TestSnapshotTruncationClassified cuts a valid snapshot at every
+// length and requires each prefix to fail as truncation — wrapping
+// io.ErrUnexpectedEOF, never a panic, never a misclassification.
+func TestSnapshotTruncationClassified(t *testing.T) {
+	const links = 4
+	var snap bytes.Buffer
+	if err := snapshotOnline(t, links).Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	target := snapshotOnline(t, links)
+	for cut := 0; cut < snap.Len(); cut++ {
+		err := target.Restore(bytes.NewReader(snap.Bytes()[:cut]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want io.ErrUnexpectedEOF", cut, snap.Len(), err)
+		}
+	}
+}
+
+// TestSnapshotCorruptionClassified flips the structural invariants one
+// at a time — magic, version, kind byte, payload length — and requires
+// each to land in the right taxonomy bucket.
+func TestSnapshotCorruptionClassified(t *testing.T) {
+	const links = 4
+	var snap bytes.Buffer
+	if err := snapshotOnline(t, links).Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	valid := snap.Bytes()
+	mutate := func(idx int, b byte) []byte {
+		out := append([]byte(nil), valid...)
+		out[idx] = b
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"bad magic", mutate(0, 'X'), ErrSnapshotFormat},
+		{"bad version", mutate(4, 99), ErrSnapshotFormat},
+		{"unknown kind", mutate(5, 0x7f), ErrSnapshotFormat},
+		// A view envelope is well-formed, just not a detector state —
+		// the mismatch bucket, same as any other wrong kind.
+		{"engine kind", mutate(5, SnapKindView), ErrSnapshotMismatch},
+		{"wrong detector kind", mutate(5, SnapKindEWMA), ErrSnapshotMismatch},
+		// Shrinking the length prefix delivers a whole (short) payload,
+		// so running off its end is a lying length — corruption.
+		{"shrunk payload length", mutate(6, valid[6]-8), ErrSnapshotFormat},
+		// Growing it makes the stream end before the promised payload —
+		// truncation.
+		{"grown payload length", mutate(6, valid[6]+8), io.ErrUnexpectedEOF},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			target := snapshotOnline(t, links)
+			if err := target.Restore(bytes.NewReader(tc.data)); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestSnapshotWrongKindMismatch offers one backend's state to another
+// backend of the same package and requires ErrSnapshotMismatch — the
+// well-formed-but-not-yours bucket.
+func TestSnapshotWrongKindMismatch(t *testing.T) {
+	const links = 4
+	var snap bytes.Buffer
+	if err := snapshotOnline(t, links).Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	sketch, err := NewSketchDetector(snapshotHistory(48, links), mat.Identity(links), SketchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sketch.Restore(bytes.NewReader(snap.Bytes())); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("subspace state restored into sketch: %v", err)
+	}
+}
+
+// TestSnapshotWrongLinksMismatch restores a 4-link subspace snapshot
+// into a 6-link detector and requires ErrSnapshotMismatch.
+func TestSnapshotWrongLinksMismatch(t *testing.T) {
+	var snap bytes.Buffer
+	if err := snapshotOnline(t, 4).Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	wide := snapshotOnline(t, 6)
+	if err := wide.Restore(bytes.NewReader(snap.Bytes())); !errors.Is(err, ErrSnapshotMismatch) {
+		t.Fatalf("4-link state restored into 6-link detector: %v", err)
+	}
+}
+
+// FuzzDecodeSnapshot throws arbitrary bytes at the restore path of a
+// real detector: any input must either restore cleanly or fail with a
+// classified error (format, mismatch, or truncation) — never a panic —
+// and an accepted envelope must re-encode byte-for-byte.
+func FuzzDecodeSnapshot(f *testing.F) {
+	const links = 4
+	var valid bytes.Buffer
+	if err := snapshotOnline(f, links).Snapshot(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:valid.Len()/2])
+	f.Add([]byte("NAMS"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid.Bytes()...)
+	corrupt[5] = SnapKindSketch
+	f.Add(corrupt)
+	// One shared detector: Restore decodes into locals and commits only
+	// on success, so a failed iteration leaves no partial state behind
+	// and a successful one fully defines the state the canonical check
+	// re-encodes.
+	det := snapshotOnline(f, links)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		err := det.Restore(r)
+		if err != nil {
+			if !errors.Is(err, ErrSnapshotFormat) &&
+				!errors.Is(err, ErrSnapshotMismatch) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("unclassified restore error: %v", err)
+			}
+			return
+		}
+		// Restore consumes exactly one envelope; canonical re-encoding
+		// must reproduce the consumed prefix bit-for-bit.
+		consumed := data[:len(data)-r.Len()]
+		var out bytes.Buffer
+		if err := det.Snapshot(&out); err != nil {
+			t.Fatalf("snapshot after accepted restore: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), consumed) {
+			t.Fatalf("accepted envelope is not canonical: consumed %d bytes, re-encoded %d", len(consumed), out.Len())
+		}
+	})
+}

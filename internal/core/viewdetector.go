@@ -1,6 +1,10 @@
 package core
 
-import "netanomaly/internal/mat"
+import (
+	"io"
+
+	"netanomaly/internal/mat"
+)
 
 // ViewStats is a point-in-time snapshot of a streaming detector's state,
 // uniform across backends so the engine and its callers can report on a
@@ -61,4 +65,20 @@ type ViewDetector interface {
 	TakeRefitError() error
 	// Stats reports the detector's current state.
 	Stats() ViewStats
+	// Snapshot serializes the detector's portable state — everything a
+	// Restore on an identically configured detector needs to continue
+	// the alarm stream bin-for-bin: sliding windows, the active model,
+	// forecaster recursions, processed/refit counters — as one NAMS
+	// envelope. It serializes with in-flight model fits (waiting any
+	// out through the refit gate), so it never captures a half-swapped
+	// model, and it must not block concurrent Stats calls forever.
+	Snapshot(w io.Writer) error
+	// Restore replaces the detector's mutable state with a snapshot
+	// taken from an identically configured detector of the same kind.
+	// A snapshot of a different backend kind or link count is rejected
+	// (wrapping ErrSnapshotMismatch) without touching the receiver;
+	// corrupt input wraps ErrSnapshotFormat and truncated input wraps
+	// io.ErrUnexpectedEOF. Construction-time configuration — routing
+	// matrix, refit cadence, thresholds — stays the receiver's own.
+	Restore(r io.Reader) error
 }

@@ -41,6 +41,8 @@ func (m *Monitor) autoscaleLoop() {
 // needs a few milliseconds later.
 func (m *Monitor) autoscaleTick() {
 	ac := m.cfg.Autoscale
+	m.asMu.Lock()
+	defer m.asMu.Unlock()
 
 	m.latMu.Lock()
 	latSum, latN := m.latSum, m.latN
@@ -89,4 +91,19 @@ func (m *Monitor) autoscaleTick() {
 	default:
 		m.calmTicks = 0
 	}
+}
+
+// autoscaleState reads the smoothed estimates for Checkpoint.
+func (m *Monitor) autoscaleState() (ewBacklog, ewLatency float64, calmTicks int) {
+	m.asMu.Lock()
+	defer m.asMu.Unlock()
+	return m.ewBacklog, m.ewLatency, m.calmTicks
+}
+
+// setAutoscaleState seeds the smoothed estimates from a checkpoint; it
+// must run before the evaluation loop starts.
+func (m *Monitor) setAutoscaleState(ewBacklog, ewLatency float64, calmTicks int) {
+	m.asMu.Lock()
+	m.ewBacklog, m.ewLatency, m.calmTicks = ewBacklog, ewLatency, calmTicks
+	m.asMu.Unlock()
 }

@@ -40,9 +40,11 @@ func (d *countDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 	return nil, nil
 }
 
-func (d *countDetector) Refit() error          { return nil }
-func (d *countDetector) WaitRefits()           {}
-func (d *countDetector) TakeRefitError() error { return nil }
+func (d *countDetector) Refit() error             { return nil }
+func (d *countDetector) WaitRefits()              {}
+func (d *countDetector) TakeRefitError() error    { return nil }
+func (d *countDetector) Snapshot(io.Writer) error { return nil }
+func (d *countDetector) Restore(io.Reader) error  { return nil }
 
 func (d *countDetector) Stats() core.ViewStats {
 	d.mu.Lock()

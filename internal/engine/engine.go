@@ -272,6 +272,9 @@ type QueueStats struct {
 	// handed to the detector has already left the queue).
 	QueuedBins    int
 	QueuedBatches int
+	// DepthHighWater is the most bins the queue has ever held at once —
+	// how close the view came to its MaxPending bound.
+	DepthHighWater int
 	// EnqueuedBins counts every bin accepted into the queue.
 	EnqueuedBins int64
 	// DroppedBins / DroppedBatches count work evicted by
@@ -346,11 +349,12 @@ type shard struct {
 	// ProcessBatch on one view.
 	procMu sync.Mutex
 
-	qmu        sync.Mutex
-	space      *sync.Cond // signaled when queued bins shrink; Block-policy waiters sleep here
-	queue      []queued
-	queuedBins int
-	owned      bool // a worker currently holds this shard
+	qmu             sync.Mutex
+	space           *sync.Cond // signaled when queued bins shrink; Block-policy waiters sleep here
+	queue           []queued
+	queuedBins      int
+	queuedHighWater int  // most bins ever simultaneously queued
+	owned           bool // a worker currently holds this shard
 
 	enqueuedBins   int64
 	droppedBins    int64
@@ -431,8 +435,10 @@ type Monitor struct {
 	latSum time.Duration
 	latN   int
 
-	// Autoscaler state, touched only by the evaluation goroutine (or a
-	// test driving autoscaleTick directly — never both).
+	// Autoscaler state, written only by the evaluation goroutine (or a
+	// test driving autoscaleTick directly — never both). asMu makes the
+	// writes visible to Checkpoint, the one reader outside the loop.
+	asMu      sync.Mutex
 	ewBacklog float64
 	ewLatency float64 // ns per batch
 	calmTicks int
@@ -474,7 +480,13 @@ func (m *Monitor) waitPending() {
 func (m *Monitor) Config() Config { return m.cfg }
 
 // NewMonitor starts the worker pool and returns an empty Monitor.
-func NewMonitor(cfg Config) *Monitor {
+func NewMonitor(cfg Config) *Monitor { return newMonitor(cfg, true) }
+
+// newMonitor builds the monitor; startLoop false defers starting the
+// autoscaler's evaluation goroutine so a restore path can seed its
+// smoothed state (ewBacklog, ewLatency) first — once the loop runs,
+// that state belongs to it alone.
+func newMonitor(cfg Config, startLoop bool) *Monitor {
 	cfg.fillDefaults()
 	m := &Monitor{
 		cfg:    cfg,
@@ -485,12 +497,20 @@ func NewMonitor(cfg Config) *Monitor {
 	m.dispatchMu.Lock()
 	m.resizePoolLocked(cfg.Workers)
 	m.dispatchMu.Unlock()
-	if cfg.Autoscale != nil && !cfg.disableAutoscaleLoop {
+	if startLoop {
+		m.startAutoscale()
+	}
+	return m
+}
+
+// startAutoscale launches the autoscaler's evaluation goroutine when
+// the configuration asks for one. Called exactly once per monitor.
+func (m *Monitor) startAutoscale() {
+	if m.cfg.Autoscale != nil && !m.cfg.disableAutoscaleLoop {
 		m.autoscaleStop = make(chan struct{})
 		m.autoscaleDone = make(chan struct{})
 		go m.autoscaleLoop()
 	}
-	return m
 }
 
 // resizePoolLocked sets the target pool size, spawning workers up to it
@@ -550,6 +570,9 @@ func (m *Monitor) worker() {
 		s.qmu.Lock()
 		if len(s.queue) == 0 {
 			s.owned = false
+			// Ownership released with nothing queued: wake quiesce
+			// waiters (CheckpointView) along with Block producers.
+			s.space.Broadcast()
 			s.qmu.Unlock()
 			continue
 		}
@@ -611,6 +634,8 @@ func (m *Monitor) worker() {
 		more := len(s.queue) > 0
 		if !more {
 			s.owned = false
+			// The shard went idle: wake quiesce waiters (CheckpointView).
+			s.space.Broadcast()
 		}
 		s.qmu.Unlock()
 		if more {
@@ -764,6 +789,9 @@ func (m *Monitor) Ingest(view string, batch *mat.Dense) error {
 			base += int64(c.Rows())
 		}
 		s.queuedBins += bins
+		if s.queuedBins > s.queuedHighWater {
+			s.queuedHighWater = s.queuedBins
+		}
 		s.enqueuedBins += int64(bins)
 		wake := !s.owned
 		if wake {
@@ -830,6 +858,9 @@ func (m *Monitor) enqueue(s *shard, chunk *mat.Dense, rel releaser) error {
 	}
 	s.queue = append(s.queue, queued{m: chunk, base: s.enqueuedBins, rel: rel})
 	s.queuedBins += chunkBins
+	if s.queuedBins > s.queuedHighWater {
+		s.queuedHighWater = s.queuedBins
+	}
 	s.enqueuedBins += int64(chunkBins)
 	wake := !s.owned
 	if wake {
@@ -1131,6 +1162,7 @@ func (m *Monitor) QueueStats(view string) (QueueStats, error) {
 	return QueueStats{
 		QueuedBins:     s.queuedBins,
 		QueuedBatches:  len(s.queue),
+		DepthHighWater: s.queuedHighWater,
 		EnqueuedBins:   s.enqueuedBins,
 		DroppedBins:    s.droppedBins,
 		DroppedBatches: s.droppedBatches,

@@ -11,6 +11,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sync"
@@ -90,9 +91,11 @@ func (d *loadDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 	return alarms, nil
 }
 
-func (d *loadDetector) Refit() error          { return nil }
-func (d *loadDetector) WaitRefits()           {}
-func (d *loadDetector) TakeRefitError() error { return nil }
+func (d *loadDetector) Refit() error             { return nil }
+func (d *loadDetector) WaitRefits()              {}
+func (d *loadDetector) TakeRefitError() error    { return nil }
+func (d *loadDetector) Snapshot(io.Writer) error { return nil }
+func (d *loadDetector) Restore(io.Reader) error  { return nil }
 
 func (d *loadDetector) Stats() core.ViewStats {
 	d.mu.Lock()
@@ -375,9 +378,9 @@ func TestLoadMixedOverloadPoliciesPerView(t *testing.T) {
 		bound int // resolved queue bound the flood must respect
 	}{
 		{"block", ViewLimits{MaxPending: 12, Overload: new(OverloadPolicy)}, 12}, // explicit Block (zero value)
-		{"shed", ViewLimits{Overload: &drop}, 12},                               // inherits the bound, sheds oldest
-		{"strict", ViewLimits{MaxPending: 8, Overload: &errPol}, 8},             // tighter bound, rejects
-		{"inherit", ViewLimits{}, 12},                                           // monitor defaults: Block at 12
+		{"shed", ViewLimits{Overload: &drop}, 12},                                // inherits the bound, sheds oldest
+		{"strict", ViewLimits{MaxPending: 8, Overload: &errPol}, 8},              // tighter bound, rejects
+		{"inherit", ViewLimits{}, 12},                                            // monitor defaults: Block at 12
 	}
 
 	gate := make(chan struct{})

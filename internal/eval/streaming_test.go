@@ -2,6 +2,7 @@ package eval
 
 import (
 	"errors"
+	"io"
 	"strings"
 	"testing"
 
@@ -35,8 +36,10 @@ func (s *scriptedDetector) ProcessBatch(y *mat.Dense) ([]core.Alarm, error) {
 	return alarms, nil
 }
 
-func (s *scriptedDetector) Refit() error { return nil }
-func (s *scriptedDetector) WaitRefits()  {}
+func (s *scriptedDetector) Refit() error             { return nil }
+func (s *scriptedDetector) WaitRefits()              {}
+func (s *scriptedDetector) Snapshot(io.Writer) error { return nil }
+func (s *scriptedDetector) Restore(io.Reader) error  { return nil }
 func (s *scriptedDetector) TakeRefitError() error {
 	err := s.deferred
 	s.deferred = nil

@@ -39,6 +39,7 @@ package forecast
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sync"
 
@@ -808,6 +809,135 @@ func (d *Detector) Stats() core.ViewStats {
 		Processed: d.processed,
 		Refits:    d.refits,
 	}
+}
+
+// snapshotKind maps the forecast kind to its snapshot kind byte, so an
+// EWMA snapshot can never restore into a Holt-Winters detector even
+// though the two share most state.
+func snapshotKind(k Kind) byte {
+	switch k {
+	case EWMA:
+		return core.SnapKindEWMA
+	case HoltWinters:
+		return core.SnapKindHoltWinters
+	default:
+		return core.SnapKindFourier
+	}
+}
+
+// Snapshot serializes the per-link forecaster recursions (gains, level,
+// trend, fitted Fourier basis), the adaptive threshold statistics, the
+// alarm-run counters, the refit window with its bin-time ring, and the
+// absolute clock that keeps the Fourier phase aligned. The refit gate
+// is taken first so an in-flight refit is waited out, never captured
+// mid-install.
+func (d *Detector) Snapshot(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return core.EncodeSnapshot(w, snapshotKind(d.kind), func(sw *core.SnapshotWriter) {
+		sw.Int(d.links)
+		sw.Floats(d.alpha)
+		sw.Floats(d.level)
+		sw.Floats(d.trend)
+		sw.Bool(d.coef != nil)
+		if d.coef != nil {
+			sw.Floats(d.coef.periods)
+			for _, c := range d.coef.coef {
+				sw.Floats(c)
+			}
+		}
+		sw.Floats(d.rmean)
+		sw.Floats(d.rvar)
+		sw.Ints(d.alarmRun)
+		sw.Int(d.binAlarmRun)
+		sw.RowRing(d.window)
+		sw.Ints(d.times.Slice())
+		sw.Int(d.clock)
+		sw.Int(d.processed)
+		sw.Int(d.sinceRefit)
+		sw.Int(d.refits)
+	})
+}
+
+// Restore replaces the forecaster state, thresholds, window, and clock
+// with a snapshot from an identically configured detector of the same
+// kind. The state commits only after the whole payload validates; the
+// receiver's configuration (K, adapt rate, reabsorb horizon, bin
+// duration, refit cadence) stays in force.
+func (d *Detector) Restore(r io.Reader) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.gate.BeginLocked()
+	defer d.gate.EndLocked(nil)
+	return core.DecodeSnapshot(r, snapshotKind(d.kind), func(sr *core.SnapshotReader) error {
+		links := sr.Int()
+		if sr.Err() == nil && links != d.links {
+			return core.SnapshotMismatchf("snapshot has %d links, detector expects %d", links, d.links)
+		}
+		alpha := sr.Floats()
+		level := sr.Floats()
+		trend := sr.Floats()
+		var coef *fourierCoef
+		if sr.Bool() {
+			coef = &fourierCoef{periods: sr.Floats(), coef: make([][]float64, d.links)}
+			for l := range coef.coef {
+				coef.coef[l] = sr.Floats()
+			}
+		}
+		rmean := sr.Floats()
+		rvar := sr.Floats()
+		alarmRun := sr.Ints()
+		binAlarmRun := sr.NonNegInt()
+		window := sr.RowRing(d.links)
+		times := sr.Ints()
+		clock := sr.Int()
+		processed := sr.NonNegInt()
+		sinceRefit := sr.NonNegInt()
+		refits := sr.NonNegInt()
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		for _, s := range [][]float64{alpha, level, trend, rmean, rvar} {
+			if len(s) != d.links {
+				return fmt.Errorf("%w: per-link state has %d entries, want %d", core.ErrSnapshotFormat, len(s), d.links)
+			}
+		}
+		if len(alarmRun) != d.links {
+			return fmt.Errorf("%w: alarm runs have %d entries, want %d", core.ErrSnapshotFormat, len(alarmRun), d.links)
+		}
+		if (coef != nil) != (d.kind == Fourier) {
+			return fmt.Errorf("%w: fourier basis presence disagrees with kind %q", core.ErrSnapshotFormat, d.kind)
+		}
+		if coef != nil {
+			width := 2*len(coef.periods) + 1
+			for l, c := range coef.coef {
+				if len(c) != width {
+					return fmt.Errorf("%w: link %d basis has %d coefficients, want %d", core.ErrSnapshotFormat, l, len(c), width)
+				}
+			}
+		}
+		if len(times) != window.Len() {
+			return fmt.Errorf("%w: %d bin times for %d window rows", core.ErrSnapshotFormat, len(times), window.Len())
+		}
+		timeRing := newIntRing(window.Cap())
+		for _, t := range times {
+			timeRing.Push(t)
+		}
+		d.alpha = alpha
+		d.level, d.trend = level, trend
+		d.coef = coef
+		d.rmean, d.rvar = rmean, rvar
+		d.alarmRun = alarmRun
+		d.binAlarmRun = binAlarmRun
+		d.window, d.times = window, timeRing
+		d.clock = clock
+		d.processed = processed
+		d.sinceRefit = sinceRefit
+		d.refits = refits
+		return nil
+	})
 }
 
 // Thresholds returns each link's current alarm threshold

@@ -3,6 +3,7 @@ package netmeas
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"netanomaly/internal/core"
@@ -199,6 +200,46 @@ func (d *MultiMetricDetector) TakeRefitError() error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// Snapshot serializes every metric's subspace detector state as nested
+// envelopes inside one multiflow envelope. Each sub-detector quiesces
+// its own refits, so the composite never serializes a half-swapped
+// model.
+func (d *MultiMetricDetector) Snapshot(w io.Writer) error {
+	return core.EncodeSnapshot(w, core.SnapKindMultiflow, func(sw *core.SnapshotWriter) {
+		sw.Int(len(d.names))
+		sw.Int(d.linksPer)
+		for _, sub := range d.dets {
+			sw.Nested(sub.Snapshot)
+		}
+	})
+}
+
+// Restore replaces every metric's detector state from a Snapshot taken
+// on an equivalently configured detector (same metric count and links
+// per metric). Restoration is per-metric in order; a failure part-way
+// leaves earlier metrics restored, so callers should discard the
+// detector on error.
+func (d *MultiMetricDetector) Restore(r io.Reader) error {
+	return core.DecodeSnapshot(r, core.SnapKindMultiflow, func(sr *core.SnapshotReader) error {
+		if n := sr.Int(); sr.Err() == nil && n != len(d.names) {
+			return core.SnapshotMismatchf("snapshot has %d metrics, detector expects %d", n, len(d.names))
+		}
+		if lp := sr.Int(); sr.Err() == nil && lp != d.linksPer {
+			return core.SnapshotMismatchf("snapshot has %d links per metric, detector expects %d", lp, d.linksPer)
+		}
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		for j, sub := range d.dets {
+			sr.Nested(sub.Restore)
+			if err := sr.Err(); err != nil {
+				return fmt.Errorf("netmeas: metric %q: %w", d.names[j], err)
+			}
+		}
+		return nil
+	})
 }
 
 // Stats reports the detector's state. Links is the stacked width;

@@ -2,6 +2,7 @@ package wavelet
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -301,6 +302,105 @@ func (s *StreamDetector) Refit() error {
 	s.gate.EndLocked(nil)
 	s.mu.Unlock()
 	return err
+}
+
+// Snapshot serializes the detector's portable state — the refit window,
+// the partially accumulated block, the processed-bin counters, and the
+// fitted per-scale subspace models — as one multiscale envelope. It
+// waits out any in-flight refit so the serialized models are never
+// half-swapped.
+func (s *StreamDetector) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate.BeginLocked()
+	defer s.gate.EndLocked(nil)
+	md := s.det.Load()
+	return core.EncodeSnapshot(w, core.SnapKindMultiscale, func(sw *core.SnapshotWriter) {
+		sw.Int(s.links)
+		sw.Int(s.levels)
+		sw.F64(s.confidence)
+		sw.RowRing(s.window)
+		sw.Int(s.pendingN)
+		sw.Floats(s.pending[:s.pendingN*s.links])
+		sw.Int(s.processed)
+		sw.Int(s.sinceRefit)
+		sw.Int(s.refits)
+		for _, det := range md.detectors {
+			core.EncodeDetector(sw, det)
+		}
+	})
+}
+
+// Restore replaces the detector's mutable state with a Snapshot taken
+// from an equivalently configured detector (same links, levels and
+// confidence — construction parameters are validated, not restored).
+// On any error the receiver is left unchanged.
+func (s *StreamDetector) Restore(r io.Reader) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gate.BeginLocked()
+	defer s.gate.EndLocked(nil)
+	var (
+		window     *mat.RowRing
+		pending    []float64
+		pendingN   int
+		processed  int
+		sinceRefit int
+		refits     int
+		md         *MultiscaleDetector
+	)
+	err := core.DecodeSnapshot(r, core.SnapKindMultiscale, func(sr *core.SnapshotReader) error {
+		if links := sr.Int(); sr.Err() == nil && links != s.links {
+			return core.SnapshotMismatchf("snapshot has %d links, detector expects %d", links, s.links)
+		}
+		if levels := sr.Int(); sr.Err() == nil && levels != s.levels {
+			return core.SnapshotMismatchf("snapshot has %d levels, detector expects %d", levels, s.levels)
+		}
+		if conf := sr.F64(); sr.Err() == nil && conf != s.confidence {
+			return core.SnapshotMismatchf("snapshot confidence %v, detector expects %v", conf, s.confidence)
+		}
+		window = sr.RowRing(s.links)
+		pendingN = sr.NonNegInt()
+		part := sr.Floats()
+		processed = sr.NonNegInt()
+		sinceRefit = sr.NonNegInt()
+		refits = sr.NonNegInt()
+		if err := sr.Err(); err != nil {
+			return err
+		}
+		if pendingN >= s.span {
+			return fmt.Errorf("%w: pending block has %d rows, span is %d", core.ErrSnapshotFormat, pendingN, s.span)
+		}
+		if len(part) != pendingN*s.links {
+			return fmt.Errorf("%w: pending block has %d values, want %d", core.ErrSnapshotFormat, len(part), pendingN*s.links)
+		}
+		pending = make([]float64, s.span*s.links)
+		copy(pending, part)
+		md = &MultiscaleDetector{levels: s.levels, confidence: s.confidence}
+		for k := 0; k < s.levels; k++ {
+			det, err := core.DecodeDetector(sr)
+			if err != nil {
+				return fmt.Errorf("scale %d: %w", k, err)
+			}
+			if det.Model().NumLinks() != s.links {
+				return core.SnapshotMismatchf("scale %d model has %d links, detector expects %d",
+					k, det.Model().NumLinks(), s.links)
+			}
+			md.detectors = append(md.detectors, det)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.window = window
+	s.pending = pending
+	s.pendingN = pendingN
+	s.processed = processed
+	s.sinceRefit = sinceRefit
+	s.refits = refits
+	s.det.Store(md)
+	return nil
 }
 
 // WaitRefits blocks until no model fit is in flight.

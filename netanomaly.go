@@ -3,6 +3,7 @@ package netanomaly
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"netanomaly/internal/core"
@@ -451,7 +452,18 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 	for _, o := range opts {
 		o(&vc)
 	}
-	cfg := m.Config()
+	det, err := newViewDetector(&vc, history, topo, m.Config())
+	if err != nil {
+		return fmt.Errorf("netanomaly: view %q: %w", name, err)
+	}
+	return m.AddDetectorViewLimits(name, det, vc.limits)
+}
+
+// newViewDetector constructs and seeds the backend a viewConfig selects
+// — the single construction path behind AddView and Restore, so a
+// restored view's detector is built with exactly the parameters a fresh
+// one would get.
+func newViewDetector(vc *viewConfig, history *Matrix, topo *Topology, cfg MonitorConfig) (ViewDetector, error) {
 	links := topo.NumLinks()
 	routing := topo.RoutingMatrix()
 	bins, cols := history.Dims()
@@ -467,30 +479,32 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 		wantCols = len(vc.metrics) * links
 	}
 	if cols != wantCols {
-		return fmt.Errorf("netanomaly: view %q: history has %d columns, %s backend on %d links wants %d", name, cols, vc.kind, links, wantCols)
+		return nil, fmt.Errorf("history has %d columns, %s backend on %d links wants %d", cols, vc.kind, links, wantCols)
 	}
 
-	var det ViewDetector
-	var err error
 	switch vc.kind {
 	case DetectorSubspace:
-		return m.AddViewLimits(name, history, routing, vc.limits)
+		return core.NewOnlineDetector(history, routing, core.OnlineConfig{
+			Window:     window,
+			RefitEvery: cfg.RefitEvery,
+			Options:    cfg.Options,
+		})
 	case DetectorIncremental:
-		det, err = core.NewIncrementalDetector(history, routing, core.IncrementalConfig{
+		return core.NewIncrementalDetector(history, routing, core.IncrementalConfig{
 			Lambda:     vc.lambda,
 			RefitEvery: cfg.RefitEvery,
 			DriftTol:   vc.driftTol,
 			Options:    cfg.Options,
 		})
 	case DetectorMultiscale:
-		det, err = wavelet.NewStreamDetector(history, wavelet.StreamConfig{
+		return wavelet.NewStreamDetector(history, wavelet.StreamConfig{
 			Levels:     vc.levels,
 			Confidence: cfg.Options.Confidence,
 			Window:     window,
 			RefitEvery: cfg.RefitEvery,
 		})
 	case DetectorMultiFlow:
-		det, err = netmeas.NewMultiMetricDetector(history, routing, netmeas.MultiMetricConfig{
+		return netmeas.NewMultiMetricDetector(history, routing, netmeas.MultiMetricConfig{
 			Metrics: vc.metrics,
 			Quorum:  vc.quorum,
 			Online: core.OnlineConfig{
@@ -500,7 +514,7 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 			},
 		})
 	case DetectorEWMA, DetectorHoltWinters, DetectorFourier:
-		det, err = forecast.NewDetector(history, forecast.Config{
+		return forecast.NewDetector(history, forecast.Config{
 			Kind:       forecast.Kind(vc.kind),
 			Alpha:      vc.alpha,
 			Beta:       vc.beta,
@@ -509,21 +523,17 @@ func AddView(m *Monitor, name string, history *Matrix, topo *Topology, opts ...V
 			RefitEvery: cfg.RefitEvery,
 		})
 	case DetectorHybrid:
-		det, err = buildHybrid(vc, history, routing, window, cfg)
+		return buildHybrid(*vc, history, routing, window, cfg)
 	case DetectorSketch:
-		det, err = core.NewSketchDetector(history, routing, core.SketchConfig{
+		return core.NewSketchDetector(history, routing, core.SketchConfig{
 			SketchSize: vc.sketchSize,
 			RefitEvery: cfg.RefitEvery,
 			DriftTol:   vc.driftTol,
 			Options:    cfg.Options,
 		})
 	default:
-		return fmt.Errorf("netanomaly: view %q: unknown detector kind %q", name, vc.kind)
+		return nil, fmt.Errorf("unknown detector kind %q", vc.kind)
 	}
-	if err != nil {
-		return fmt.Errorf("netanomaly: view %q: %w", name, err)
-	}
-	return m.AddDetectorViewLimits(name, det, vc.limits)
 }
 
 // HybridDetector is the triage→identification backend behind
@@ -581,6 +591,82 @@ func buildHybrid(vc viewConfig, history *Matrix, routing *Matrix, window int, cf
 		Window:     window,
 		RefitEvery: cfg.RefitEvery,
 	})
+}
+
+// ErrSnapshotFormat classifies structurally corrupt detector or
+// monitor snapshots (bad magic, impossible lengths, contradictory
+// dimensions); truncation is classified separately as
+// io.ErrUnexpectedEOF. Test with errors.Is.
+var ErrSnapshotFormat = core.ErrSnapshotFormat
+
+// ErrSnapshotMismatch classifies well-formed snapshots offered to the
+// wrong detector or view: a different backend kind, link count, or
+// incompatible construction parameters. Test with errors.Is.
+var ErrSnapshotMismatch = core.ErrSnapshotMismatch
+
+// ViewSpec tells Restore how to reconstruct one checkpointed view's
+// detector: the same seed history, topology and options the view was
+// originally registered with (AddView's arguments). Construction
+// parameters live here, not in the checkpoint — the snapshot then
+// replaces the detector's mutable state and validates that both sides
+// agree on kind, link count and the rest.
+type ViewSpec struct {
+	// Name matches the view name in the checkpoint. An empty Name is a
+	// wildcard: it describes any checkpointed view no other spec names
+	// — the escape hatch for tools that restore a single-view
+	// checkpoint without knowing what the writer called it.
+	Name string
+	// History seeds the reconstructed detector before its state is
+	// replaced; same shape rules as AddView.
+	History *Matrix
+	// Topo supplies the links and routing matrix.
+	Topo *Topology
+	// Options select and configure the backend, exactly as passed to
+	// AddView. Per-view queue limits (WithViewMaxPending,
+	// WithViewOverloadPolicy) are not applied on restore — restored
+	// views inherit the monitor-wide limits.
+	Options []ViewOption
+}
+
+// Restore rebuilds a Monitor from a Monitor.Checkpoint stream: every
+// checkpointed view is reconstructed from its ViewSpec, its detector
+// state and queue counters restored, so the new monitor's alarm stream
+// — sequence offsets included — continues bin-for-bin where the
+// checkpointed one stopped. A checkpointed view without a spec, a spec
+// whose backend kind disagrees with the snapshot, or a corrupt stream
+// fails the whole restore (classified per ErrSnapshotFormat /
+// ErrSnapshotMismatch / io.ErrUnexpectedEOF).
+func Restore(cfg MonitorConfig, r io.Reader, views []ViewSpec, opts ...MonitorOption) (*Monitor, error) {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	specs := make(map[string]ViewSpec, len(views))
+	for _, v := range views {
+		specs[v.Name] = v
+	}
+	factory := func(name, kind string, links int) (ViewDetector, error) {
+		spec, ok := specs[name]
+		if !ok {
+			spec, ok = specs[""] // wildcard spec: any otherwise-unnamed view
+		}
+		if !ok {
+			return nil, fmt.Errorf("netanomaly: checkpoint holds view %q but no ViewSpec describes it", name)
+		}
+		vc := viewConfig{kind: DetectorSubspace, lambda: 1, levels: 3, quorum: 1}
+		for _, o := range spec.Options {
+			o(&vc)
+		}
+		if string(vc.kind) != kind {
+			return nil, fmt.Errorf("netanomaly: view %q: %w: spec builds a %s detector, checkpoint holds %s state",
+				name, ErrSnapshotMismatch, vc.kind, kind)
+		}
+		det, err := newViewDetector(&vc, spec.History, spec.Topo, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("netanomaly: view %q: %w", name, err)
+		}
+		return det, nil
+	}
+	return engine.NewMonitorFromCheckpoint(cfg, r, factory)
 }
 
 // LinkMeasurement is one bin of link loads delivered by a streaming
