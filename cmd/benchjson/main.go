@@ -19,7 +19,14 @@
 // subspace one), so a regression fails the build even though absolute
 // numbers move with the hardware.
 //
+// With -scorecard the tool instead regenerates SCORECARD.json — the
+// nine-backend × attack-scenario detection/false-alarm/identification
+// matrix over the scenario library (deterministic in its seed, so the
+// file is identical on every machine) — and, when -baseline names a
+// committed scorecard, fails if any cell regresses beyond tolerance.
+//
 //	benchjson -out .
+//	benchjson -scorecard -out /tmp -baseline SCORECARD.json
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 	"netanomaly"
 	"netanomaly/internal/core"
 	"netanomaly/internal/engine"
+	"netanomaly/internal/eval"
 	"netanomaly/internal/forecast"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
@@ -133,7 +141,17 @@ type agreementReport struct {
 
 func main() {
 	outDir := flag.String("out", ".", "directory for BENCH_ingest.json, BENCH_sketch.json and BENCH_snapshot.json")
+	scorecard := flag.Bool("scorecard", false, "regenerate SCORECARD.json (backend x scenario detection matrix) instead of the benchmarks")
+	baseline := flag.String("baseline", "", "with -scorecard: committed scorecard to gate against; any cell regression fails")
+	seed := flag.Int64("seed", 1, "with -scorecard: seed for traffic, metrics and scenarios")
 	flag.Parse()
+
+	if *scorecard {
+		if err := runScorecardGate(*outDir, *baseline, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ing, err := measureIngest()
 	if err != nil {
@@ -703,6 +721,44 @@ func measureSnapshot() (*snapshotReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// runScorecardGate regenerates the backend x scenario detection
+// scorecard, writes it to outDir/SCORECARD.json, and — when a baseline
+// is named — fails on any cell regressing beyond the default
+// tolerance. Unlike the timing benchmarks the scorecard is exact: the
+// run is deterministic in the seed, so a committed baseline reproduces
+// bit-for-bit until a code change moves a cell.
+func runScorecardGate(outDir, baseline string, seed int64) error {
+	card, err := eval.RunScorecard(topology.Abilene(), eval.ScorecardConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(outDir, "SCORECARD.json"), card); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: scorecard %d backends x %d scenarios (%d cells) on %s, seed %d\n",
+		len(card.Backends), len(card.Scenarios), len(card.Cells), card.Topology, card.Seed)
+	if baseline == "" {
+		return nil
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var base eval.Scorecard
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baseline, err)
+	}
+	regressions := eval.CompareScorecards(&base, card, eval.DefaultScorecardTolerance())
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "benchjson: SCORECARD REGRESSION: %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: scorecard matches baseline %s (no cell regressed)\n", baseline)
+	return nil
 }
 
 func round1(v float64) float64 { return math.Round(v*10) / 10 }

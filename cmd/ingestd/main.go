@@ -55,7 +55,7 @@ func main() {
 	socketPath := flag.String("socket", "", "unix socket path (empty to disable)")
 	useStdin := flag.Bool("stdin", false, "also ingest one binary stream from stdin")
 	conns := flag.Int("conns", 0, "exit after this many connections (0 = serve until signalled)")
-	detector := flag.String("detector", "subspace", "shard backend: subspace, incremental, or sketch")
+	detector := flag.String("detector", "subspace", "shard backend: subspace, incremental, sketch, multiscale, ewma, holtwinters, fourier, or hybrid")
 	sketchSize := flag.Int("sketch-size", 0, "sketch: Frequent-Directions rows (0 = 4x model rank)")
 	lambda := flag.Float64("lambda", 1, "incremental: covariance forgetting factor in (0,1]")
 	driftTol := flag.Float64("drift-tol", 0, "incremental/sketch: min residual drift before a rebuild swaps in")
@@ -93,13 +93,17 @@ func main() {
 	kind := netanomaly.DetectorKind(*detector)
 	viewOpts := []netanomaly.ViewOption{netanomaly.WithDetector(kind)}
 	switch kind {
-	case netanomaly.DetectorSubspace:
+	case netanomaly.DetectorSubspace, netanomaly.DetectorMultiscale,
+		netanomaly.DetectorEWMA, netanomaly.DetectorHoltWinters,
+		netanomaly.DetectorFourier, netanomaly.DetectorHybrid:
 	case netanomaly.DetectorIncremental:
 		viewOpts = append(viewOpts, netanomaly.WithLambda(*lambda), netanomaly.WithDriftTolerance(*driftTol))
 	case netanomaly.DetectorSketch:
 		viewOpts = append(viewOpts, netanomaly.WithSketchSize(*sketchSize), netanomaly.WithDriftTolerance(*driftTol))
+	case netanomaly.DetectorMultiFlow:
+		fatal(fmt.Errorf("ingestd serves plain link loads; -detector multiflow needs the column-stacked metric stream"))
 	default:
-		fatal(fmt.Errorf("ingestd serves plain link loads; -detector %q is not one of subspace, incremental, sketch", kind))
+		fatal(fmt.Errorf("unknown -detector %q", kind))
 	}
 	policy, err := netanomaly.ParseOverloadPolicy(*overload)
 	if err != nil {

@@ -9,6 +9,13 @@
 // after the byte counts — the input cmd/diagnose consumes with
 // -detector multiflow.
 //
+// -scenario composes a labeled attack scenario from the scenario
+// library (beacon, scan, synflood, flashcrowd, exfil, lateral) onto
+// the generated traffic: the injection starts at -scenario-start
+// (default 1008, so the first week stays clean history for seeding
+// detectors) and every labeled bin is echoed on the banner with its
+// attributed flow — the ground truth an e2e check greps against.
+//
 // -format selects the link matrix encoding: csv (default) or binary,
 // the compact wire format cmd/ingestd and diagnose -format binary
 // consume (no column names; the topology defines the link order).
@@ -75,6 +82,8 @@ func main() {
 	batchFrames := flag.Int("batch-frames", 0, "binary wire format v2: bins per batch frame (0 = v1 per-bin frames)")
 	skip := flag.Int("skip", 0, "drop the first n bins from the link matrix output (emit a post-history stream tail)")
 	withMetrics := flag.Bool("metrics", false, "stack flow-count and packet-size metrics after the byte columns (for diagnose -detector multiflow)")
+	scenarioName := flag.String("scenario", "", "compose a labeled attack scenario (beacon, scan, synflood, flashcrowd, exfil, lateral)")
+	scenarioStart := flag.Int("scenario-start", 1008, "first attackable bin for -scenario; earlier bins stay clean history")
 	flag.Var(&anomalies, "anomaly", "inject flow,bin,delta (repeatable)")
 	flag.Parse()
 
@@ -92,12 +101,30 @@ func main() {
 		fatal(err)
 	}
 	netanomaly.InjectAnomalies(od, anomalies)
+	var scenario *netanomaly.ScenarioResult
+	if *scenarioName != "" {
+		sc, err := netanomaly.ScenarioByName(*scenarioName)
+		if err != nil {
+			fatal(err)
+		}
+		if scenario, err = sc.Apply(topo, od, *scenarioStart, *seed); err != nil {
+			fatal(err)
+		}
+		if len(scenario.FlowCountAnomalies) > 0 && !*withMetrics {
+			fmt.Fprintf(os.Stderr, "trafficgen: note: the %s scenario injects only IP-flow counts; without -metrics the byte-only output carries no trace of it\n", *scenarioName)
+		}
+	}
 	links := netanomaly.LinkLoads(topo, od)
 	metricNote := ""
 	if *withMetrics {
 		ms, err := netanomaly.DeriveLinkMetrics(topo, od, netanomaly.LinkMetricConfig{Seed: *seed})
 		if err != nil {
 			fatal(err)
+		}
+		if scenario != nil {
+			for _, fa := range scenario.FlowCountAnomalies {
+				ms.InjectFlowCountAnomaly(topo, fa.Flow, fa.Bin, fa.Extra)
+			}
 		}
 		if links, err = ms.Stacked(); err != nil {
 			fatal(err)
@@ -195,6 +222,21 @@ func main() {
 		outBins, topo.NumLinks(), metricNote, formatNote, *linksPath, topo.Name(), topo.NumPoPs(), topo.NumLinks(), topo.NumFlows(), *seed)
 	for _, a := range anomalies {
 		fmt.Fprintf(banner, "injected %.3g bytes into flow %s at bin %d\n", a.Delta, topo.FlowName(a.Flow), a.Bin)
+	}
+	if scenario != nil {
+		names := make([]string, len(scenario.AffectedFlows))
+		for i, f := range scenario.AffectedFlows {
+			names[i] = topo.FlowName(f)
+		}
+		fmt.Fprintf(banner, "scenario %s from bin %d: %d labeled bins, %d flow-count injections, flows %s\n",
+			*scenarioName, *scenarioStart, len(scenario.Truth), len(scenario.FlowCountAnomalies), strings.Join(names, " "))
+		for _, tb := range scenario.Truth {
+			flow := "-"
+			if tb.Flow >= 0 {
+				flow = topo.FlowName(tb.Flow)
+			}
+			fmt.Fprintf(banner, "scenario truth bin %d: %s\n", tb.Bin, flow)
+		}
 	}
 }
 

@@ -259,6 +259,165 @@ func TestMonitorMixedBackends(t *testing.T) {
 	}
 }
 
+// scenarioFixtures builds the full backend family over one
+// attack-scenario-library stream — the synflood scenario composed onto
+// an Abilene trace through its OD routing — instead of the synthetic
+// single-bin spike: the scenario's flow-labeled ground truth supplies
+// the window every backend must alarm in.
+func scenarioFixtures(t *testing.T, seed int64) ([]backendFixture, []traffic.LabeledBin) {
+	t.Helper()
+	topo := topology.Abilene()
+	cfg := traffic.DefaultConfig(seed)
+	cfg.Bins = confHistoryBins + confStreamBins
+	gen, err := traffic.NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := gen.Generate()
+	sc, err := traffic.ScenarioByName("synflood")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Apply(topo, od, confHistoryBins, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := traffic.StreamTruth(res.Truth, confHistoryBins)
+	if len(truth) == 0 {
+		t.Fatal("synflood scenario emitted no stream truth")
+	}
+	floodLo, floodHi := truth[0].Bin, truth[len(truth)-1].Bin
+
+	y := traffic.LinkLoads(topo, od)
+	links := topo.NumLinks()
+	routing := topo.RoutingMatrix()
+	history := mat.NewDense(confHistoryBins, links, y.RawData()[:confHistoryBins*links])
+	stream := mat.NewDense(confStreamBins, links, y.RawData()[confHistoryBins*links:])
+
+	ms, err := netmeas.LinkMetrics(topo, od, netmeas.MetricConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fa := range res.FlowCountAnomalies {
+		ms.InjectFlowCountAnomaly(topo, fa.Flow, fa.Bin, fa.Extra)
+	}
+	stacked, err := ms.Stacked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := stacked.Cols()
+	stackedHistory := mat.NewDense(confHistoryBins, cols, stacked.RawData()[:confHistoryBins*cols])
+	stackedStream := mat.NewDense(confStreamBins, cols, stacked.RawData()[confHistoryBins*cols:])
+
+	subspace, err := core.NewOnlineDetector(history, routing, core.OnlineConfig{Window: confHistoryBins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental, err := core.NewIncrementalDetector(history, routing, core.IncrementalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiscale, err := wavelet.NewStreamDetector(history, wavelet.StreamConfig{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiflow, err := netmeas.NewMultiMetricDetector(stackedHistory, routing, netmeas.MultiMetricConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketch, err := core.NewSketchDetector(history, routing, core.SketchConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtures := []backendFixture{
+		{"subspace", subspace, history, stream, floodLo, floodHi},
+		{"incremental", incremental, history, stream, floodLo, floodHi},
+		{"sketch", sketch, history, stream, floodLo, floodHi},
+		{"multiscale", multiscale, history, stream, floodLo - 4, floodHi},
+		{"multiflow", multiflow, stackedHistory, stackedStream, floodLo, floodHi},
+	}
+	for _, kind := range []forecast.Kind{forecast.EWMA, forecast.HoltWinters, forecast.Fourier} {
+		det, err := forecast.NewDetector(history, forecast.Config{Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixtures = append(fixtures, backendFixture{string(kind), det, history, stream, floodLo, floodHi})
+	}
+	fixtures = append(fixtures, backendFixture{"hybrid", hybridFixture(t, history, routing), history, stream, floodLo, floodHi})
+	return fixtures, truth
+}
+
+// TestMonitorScenarioStream runs the full backend family as shards of
+// one Monitor over the scenario-library flood stream: every backend
+// must alarm inside the scenario's labeled window, the flow-attributing
+// backends must name the scenario's flow, and the whole run — scenario
+// injection included — must be bin-for-bin reproducible across two
+// independently built monitors on the same seed.
+func TestMonitorScenarioStream(t *testing.T) {
+	run := func(seed int64) (map[string][]core.Alarm, []traffic.LabeledBin, []backendFixture) {
+		fixtures, truth := scenarioFixtures(t, seed)
+		m := NewMonitor(Config{Workers: 4, BatchSize: 32})
+		defer m.Close()
+		for _, f := range fixtures {
+			if err := m.AddDetectorView(f.name, f.det); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, f := range fixtures {
+			if err := m.Ingest(f.name, f.stream); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Flush()
+		if errs := m.Errs(); len(errs) != 0 {
+			t.Fatalf("unexpected errors: %v", errs)
+		}
+		byView := make(map[string][]core.Alarm)
+		for _, a := range m.TakeAlarms() {
+			byView[a.View] = append(byView[a.View], a.Alarm)
+		}
+		return byView, truth, fixtures
+	}
+
+	byView, truth, fixtures := run(140)
+	wantFlow := truth[0].Flow
+	for _, f := range fixtures {
+		hit := false
+		for _, a := range byView[f.name] {
+			if a.Seq >= f.spikeLo && a.Seq <= f.spikeHi {
+				hit = true
+				// The flow-attributing backends must name the
+				// scenario's labeled flow.
+				switch f.name {
+				case "subspace", "incremental", "sketch":
+					if a.Flow != wantFlow {
+						t.Fatalf("%s attributed flow %d at bin %d, scenario labels %d", f.name, a.Flow, a.Seq, wantFlow)
+					}
+				}
+			}
+		}
+		if !hit {
+			t.Fatalf("view %q missed the flood window [%d,%d]; alarms: %+v", f.name, f.spikeLo, f.spikeHi, byView[f.name])
+		}
+	}
+
+	// Same seed, fresh monitor: the alarm stream must reproduce
+	// bin-for-bin — the engine-level seed-determinism pin for scenario
+	// injection.
+	again, _, _ := run(140)
+	for _, f := range fixtures {
+		a, b := byView[f.name], again[f.name]
+		if len(a) != len(b) {
+			t.Fatalf("%s: rerun alarm count diverged: %d vs %d", f.name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Seq != b[i].Seq || a[i].Flow != b[i].Flow {
+				t.Fatalf("%s: rerun alarm %d diverged: %+v vs %+v", f.name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
 // gatedDetector wraps a real backend so a test controls exactly when
 // each batch is serviced: ProcessBatch consumes one token from gate
 // (close the channel to open the floodgates). Stats, refits and errors

@@ -5,6 +5,7 @@ import (
 
 	"netanomaly/internal/core"
 	"netanomaly/internal/mat"
+	"netanomaly/internal/traffic"
 )
 
 // StreamResult scores one streaming backend's alarms against labeled
@@ -25,8 +26,10 @@ type StreamResult struct {
 	FalseAlarms, NormalBins int
 	// Identified of IdentTrials detected labeled bins carried the true
 	// OD flow. IdentTrials counts the detected labeled bins whose truth
-	// names a flow; both stay zero when the truth carries no flows or
-	// the backend never attributes them (Flow always -1).
+	// names a flow AND whose alarm attributed one: a region alarm
+	// (alarm Flow == -1, the multiscale and forecast backends) counts
+	// as a detection but not an identification trial, so both stay zero
+	// when the truth carries no flows or the backend never attributes.
 	Identified, IdentTrials int
 }
 
@@ -84,16 +87,24 @@ func ScoreAlarmBins(backend string, alarmBins map[int]bool, truthBins []int, str
 // ScoreAlarmFlows scores alarmed stream bins (mapped to the flow each
 // alarm attributed, -1 for none) against labeled truths over a stream of
 // streamBins total bins: detection and false alarms per bin, plus flow
-// identification for the detected truths that name a flow.
+// identification for the detected truths that name a flow. Truth bins
+// past the stream end are counted as (undetectable) true anomalies and
+// never shrink the normal-bin population; an identification trial needs
+// both sides to name a flow — a region alarm (flow -1) on a flow-labeled
+// truth is a detection, not a wrong identification.
 func ScoreAlarmFlows(backend string, alarmFlows map[int]int, truth []LabeledBin, streamBins int) StreamResult {
 	truthFlows := make(map[int]int, len(truth))
+	inStream := 0
 	for _, tb := range truth {
+		if _, dup := truthFlows[tb.Bin]; !dup && tb.Bin >= 0 && tb.Bin < streamBins {
+			inStream++
+		}
 		truthFlows[tb.Bin] = tb.Flow
 	}
 	r := StreamResult{
 		Backend:       backend,
 		TrueAnomalies: len(truthFlows),
-		NormalBins:    streamBins - len(truthFlows),
+		NormalBins:    streamBins - inStream,
 	}
 	for b, flow := range alarmFlows {
 		want, ok := truthFlows[b]
@@ -102,7 +113,7 @@ func ScoreAlarmFlows(backend string, alarmFlows map[int]int, truth []LabeledBin,
 			continue
 		}
 		r.Detected++
-		if want >= 0 {
+		if want >= 0 && flow >= 0 {
 			r.IdentTrials++
 			if flow == want {
 				r.Identified++
@@ -130,10 +141,10 @@ func EvaluateStreaming(det core.ViewDetector, stream *mat.Dense, batchSize int, 
 
 // LabeledBin is one ground-truth anomaly for streaming evaluation: the
 // stream bin it lands in and, when known, the responsible OD flow
-// (Flow < 0 scores detection only).
-type LabeledBin struct {
-	Bin, Flow int
-}
+// (Flow < 0 scores detection only). It is an alias for the traffic
+// package's type so the attack-scenario library's ground truth feeds
+// EvaluateStreamingFlows directly.
+type LabeledBin = traffic.LabeledBin
 
 // EvaluateStreamingFlows is EvaluateStreaming with flow-attribution
 // scoring: truth entries that name an OD flow are additionally scored

@@ -100,14 +100,16 @@ func TestEvaluateStreamingAllAlarmStream(t *testing.T) {
 	if r.DetectionRate() != 1 || r.FalseAlarmRate() != 1 {
 		t.Fatalf("all-alarm rates %+v", r)
 	}
-	// Flow-labeled truths against a backend that never attributes:
-	// every detection is an identification trial, none succeed.
+	// Flow-labeled truths against a backend that never attributes
+	// (every alarm is a region alarm, Flow -1): both truths are
+	// detected, but neither opens an identification trial — a region
+	// alarm is a detection, not a wrong identification.
 	det = &scriptedDetector{links: links, alarmAt: always}
 	r, err = EvaluateStreamingFlows(det, stream, 10, []LabeledBin{{Bin: 5, Flow: 17}, {Bin: 6, Flow: -1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Detected != 2 || r.IdentTrials != 1 || r.Identified != 0 {
+	if r.Detected != 2 || r.IdentTrials != 0 || r.Identified != 0 {
 		t.Fatalf("flow-labeled result %+v", r)
 	}
 }
@@ -144,6 +146,82 @@ func TestEvaluateStreamingFlowAttribution(t *testing.T) {
 	}
 	if !strings.Contains(r.String(), "identified 1/2") {
 		t.Fatalf("String() lacks identification column: %q", r.String())
+	}
+}
+
+// TestScoreAlarmFlowsRegionAlarms pins the region-alarm rule directly
+// on the scorer: an alarm that attributes no flow (Flow == -1) on a
+// flow-labeled truth counts as a detection but opens no identification
+// trial, while an attributing alarm on the same truth does.
+func TestScoreAlarmFlowsRegionAlarms(t *testing.T) {
+	truth := []LabeledBin{{Bin: 3, Flow: 7}, {Bin: 8, Flow: 9}}
+	r := ScoreAlarmFlows("x", map[int]int{3: -1, 8: 9}, truth, 20)
+	if r.Detected != 2 || r.TrueAnomalies != 2 {
+		t.Fatalf("detection accounting %+v", r)
+	}
+	if r.IdentTrials != 1 || r.Identified != 1 {
+		t.Fatalf("region alarm must not open an identification trial: %+v", r)
+	}
+	if r.FalseAlarms != 0 || r.NormalBins != 18 {
+		t.Fatalf("normal-bin accounting %+v", r)
+	}
+}
+
+// TestScoreAlarmFlowsDuplicateAlarms pins per-bin collapsing: a
+// detector re-alarming the same bin (e.g. once per batch overlap, or
+// from two metrics) scores one detection or one false alarm, never
+// two — EvaluateStreamingFlows keeps the last attribution per bin.
+func TestScoreAlarmFlowsDuplicateAlarms(t *testing.T) {
+	const bins, links = 30, 2
+	stream := mat.Zeros(bins, links)
+	// Alarm bin 5 on every call within its batch — ProcessBatch emits
+	// one alarm per bin, so duplicates arise from the alarm list
+	// carrying the same Seq twice.
+	det := &scriptedDetector{links: links, alarmAt: func(seq int) (core.Diagnosis, bool) {
+		if seq == 5 || seq == 12 {
+			return core.Diagnosis{SPE: 1, Threshold: 0.5, Flow: 4}, true
+		}
+		return core.Diagnosis{}, false
+	}}
+	// Feed the stream twice in overlapping halves via two detectors is
+	// out of contract; instead exercise the scorer directly with the
+	// collapsed map plus a sanity pass through the evaluator.
+	r := ScoreAlarmFlows("x", map[int]int{5: 4, 12: 4}, []LabeledBin{{Bin: 5, Flow: 4}}, bins)
+	if r.Detected != 1 || r.FalseAlarms != 1 || r.IdentTrials != 1 || r.Identified != 1 {
+		t.Fatalf("collapsed duplicate accounting %+v", r)
+	}
+	// Duplicate truth labels for one bin also collapse: a single truth
+	// event double-labeled must not inflate TrueAnomalies' denominator
+	// beyond distinct bins or shrink NormalBins twice.
+	r = ScoreAlarmFlows("x", map[int]int{5: 4}, []LabeledBin{{Bin: 5, Flow: 4}, {Bin: 5, Flow: 4}}, bins)
+	if r.TrueAnomalies != 1 || r.NormalBins != bins-1 {
+		t.Fatalf("duplicate truth accounting %+v", r)
+	}
+	rr, err := EvaluateStreamingFlows(det, stream, 10, []LabeledBin{{Bin: 5, Flow: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Detected != 1 || rr.FalseAlarms != 1 {
+		t.Fatalf("evaluator duplicate accounting %+v", rr)
+	}
+}
+
+// TestScoreAlarmFlowsTruthPastStreamEnd pins out-of-stream truth: a
+// labeled bin beyond the replayed stream still counts as a (missed)
+// true anomaly, but must not shrink the normal-bin denominator — the
+// stream's unlabeled bins are all still normal.
+func TestScoreAlarmFlowsTruthPastStreamEnd(t *testing.T) {
+	const bins = 10
+	truth := []LabeledBin{{Bin: 2, Flow: 1}, {Bin: 25, Flow: 3}, {Bin: -4, Flow: 2}}
+	r := ScoreAlarmFlows("x", map[int]int{2: 1}, truth, bins)
+	if r.TrueAnomalies != 3 || r.Detected != 1 {
+		t.Fatalf("out-of-stream truth accounting %+v", r)
+	}
+	if r.NormalBins != bins-1 {
+		t.Fatalf("NormalBins = %d, out-of-stream truths must not shrink it", r.NormalBins)
+	}
+	if r.FalseAlarms != 0 {
+		t.Fatalf("false-alarm accounting %+v", r)
 	}
 }
 

@@ -44,13 +44,21 @@ func WithAnomalies(x *mat.Dense, anomalies []Anomaly) *mat.Dense {
 // with sizes uniform in [minSize, maxSize]. At most one anomaly is placed
 // per bin so that ground truth stays unambiguous (the paper's datasets
 // likewise treat each anomalous timestep as a single event). Deterministic
-// in seed. It panics if count exceeds the number of bins.
-func RandomAnomalies(topo *topology.Topology, bins, count int, minSize, maxSize float64, seed int64) []Anomaly {
+// in seed. Degenerate requests — a non-positive count or bin budget, more
+// anomalies than bins, or an inverted size range — are errors, never a
+// silent empty slice.
+func RandomAnomalies(topo *topology.Topology, bins, count int, minSize, maxSize float64, seed int64) ([]Anomaly, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("traffic: anomaly bin budget %d must be positive", bins)
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("traffic: anomaly count %d must be positive", count)
+	}
 	if count > bins {
-		panic(fmt.Sprintf("traffic: cannot place %d anomalies in %d bins", count, bins))
+		return nil, fmt.Errorf("traffic: cannot place %d anomalies in %d bins", count, bins)
 	}
 	if minSize > maxSize {
-		panic(fmt.Sprintf("traffic: size range [%v,%v] invalid", minSize, maxSize))
+		return nil, fmt.Errorf("traffic: size range [%v,%v] invalid", minSize, maxSize)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	binPerm := rng.Perm(bins)
@@ -62,5 +70,5 @@ func RandomAnomalies(topo *topology.Topology, bins, count int, minSize, maxSize 
 			Delta: minSize + rng.Float64()*(maxSize-minSize),
 		}
 	}
-	return out
+	return out, nil
 }

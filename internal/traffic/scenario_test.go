@@ -1,0 +1,232 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"netanomaly/internal/mat"
+	"netanomaly/internal/topology"
+)
+
+// scenarioFixture generates a clean trace and applies one scenario,
+// returning both the mutated matrix and an untouched clone of the
+// clean trace for differencing.
+func scenarioFixture(t *testing.T, topo *topology.Topology, name string, start, bins int, seed int64) (*mat.Dense, *mat.Dense, *ScenarioResult) {
+	t.Helper()
+	cfg := DefaultConfig(seed)
+	cfg.Bins = bins
+	gen, err := NewGenerator(topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := gen.Generate()
+	clean := od.Clone()
+	sc, err := ScenarioByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Apply(topo, od, start, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return od, clean, res
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	scs := Scenarios()
+	if len(scs) < 5 {
+		t.Fatalf("registry has %d scenarios, want >= 5", len(scs))
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if sc.Name == "" || sc.Summary == "" {
+			t.Fatalf("scenario %+v missing name or summary", sc)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		got, err := ScenarioByName(sc.Name)
+		if err != nil || got.Name != sc.Name {
+			t.Fatalf("ScenarioByName(%q) = %v, %v", sc.Name, got.Name, err)
+		}
+	}
+	for _, want := range []string{"beacon", "scan", "synflood", "flashcrowd", "exfil", "lateral"} {
+		if !seen[want] {
+			t.Fatalf("registry lacks %q", want)
+		}
+	}
+	if _, err := ScenarioByName("nonesuch"); err == nil || !strings.Contains(err.Error(), "nonesuch") {
+		t.Fatalf("unknown scenario error = %v", err)
+	}
+}
+
+// TestScenarioLabelsAndConfinement pins, for every scenario: mutations
+// confined to [start, bins), truth bins in range with valid flows, and
+// affected flows accounted.
+func TestScenarioLabelsAndConfinement(t *testing.T) {
+	topo := topology.Abilene()
+	const start, bins = 64, 192
+	for _, sc := range Scenarios() {
+		od, clean, res := scenarioFixture(t, topo, sc.Name, start, bins, 42)
+		// History untouched.
+		for b := 0; b < start; b++ {
+			for f := 0; f < topo.NumFlows(); f++ {
+				if od.At(b, f) != clean.At(b, f) {
+					t.Fatalf("%s: history bin %d flow %d mutated", sc.Name, b, f)
+				}
+			}
+		}
+		// Byte mutations only on affected flows, only in the stream.
+		affected := map[int]bool{}
+		for _, f := range res.AffectedFlows {
+			if f < 0 || f >= topo.NumFlows() {
+				t.Fatalf("%s: affected flow %d out of range", sc.Name, f)
+			}
+			affected[f] = true
+		}
+		for b := start; b < bins; b++ {
+			for f := 0; f < topo.NumFlows(); f++ {
+				if od.At(b, f) != clean.At(b, f) && !affected[f] {
+					t.Fatalf("%s: bin %d flow %d mutated but not in AffectedFlows", sc.Name, b, f)
+				}
+			}
+		}
+		// Truth labels in range, attributed to affected flows.
+		if sc.Name == "flashcrowd" {
+			if len(res.Truth) != 0 {
+				t.Fatalf("flashcrowd is a control scenario, got %d labels", len(res.Truth))
+			}
+		} else if len(res.Truth) == 0 {
+			t.Fatalf("%s emitted no ground truth", sc.Name)
+		}
+		for _, tb := range res.Truth {
+			if tb.Bin < start || tb.Bin >= bins {
+				t.Fatalf("%s: truth bin %d outside stream [%d,%d)", sc.Name, tb.Bin, start, bins)
+			}
+			if !affected[tb.Flow] {
+				t.Fatalf("%s: truth flow %d not in AffectedFlows", sc.Name, tb.Flow)
+			}
+		}
+		// Flow-count injections: scan-only, in range.
+		for _, fa := range res.FlowCountAnomalies {
+			if fa.Bin < start || fa.Bin >= bins || !affected[fa.Flow] || fa.Extra <= 0 {
+				t.Fatalf("%s: bad flow-count anomaly %+v", sc.Name, fa)
+			}
+		}
+		if sc.Name == "scan" && len(res.FlowCountAnomalies) == 0 {
+			t.Fatal("scan emitted no flow-count anomalies")
+		}
+	}
+}
+
+// TestScanLeavesBytesFlat pins the scan scenario's defining property:
+// the OD byte matrix is untouched — the injection lives entirely in
+// the flow-count metric.
+func TestScanLeavesBytesFlat(t *testing.T) {
+	topo := topology.Abilene()
+	od, clean, res := scenarioFixture(t, topo, "scan", 64, 192, 7)
+	a, b := od.RawData(), clean.RawData()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan mutated OD bytes at value %d", i)
+		}
+	}
+	if len(res.FlowCountAnomalies) == 0 || len(res.Truth) == 0 {
+		t.Fatalf("scan result %+v lacks injections or labels", res)
+	}
+}
+
+// TestScenarioRespectsRouting pins that scenario injections reach link
+// loads only through the topology's routing: the link-load delta is
+// nonzero exactly on links routed by some affected flow.
+func TestScenarioRespectsRouting(t *testing.T) {
+	topo := topology.Abilene()
+	for _, name := range []string{"beacon", "synflood", "flashcrowd", "exfil", "lateral"} {
+		od, clean, res := scenarioFixture(t, topo, name, 64, 192, 11)
+		routed := map[int]bool{}
+		for _, f := range res.AffectedFlows {
+			for _, l := range topo.Route(f) {
+				routed[l] = true
+			}
+		}
+		dy, cy := LinkLoads(topo, od), LinkLoads(topo, clean)
+		bins, links := dy.Dims()
+		touched := false
+		for b := 0; b < bins; b++ {
+			for l := 0; l < links; l++ {
+				if dy.At(b, l) != cy.At(b, l) {
+					touched = true
+					if !routed[l] {
+						t.Fatalf("%s: link %d moved but no affected flow routes it", name, l)
+					}
+				}
+			}
+		}
+		if !touched {
+			t.Fatalf("%s left link loads untouched", name)
+		}
+	}
+}
+
+// TestFlashCrowdMirrorsFloodVictim pins the control pairing: under one
+// seed, the flash crowd disperses toward the same victim PoP the SYN
+// flood concentrates on, so the two streams differ only in dispersion
+// and ramp — the comparison the scenario pair exists to make.
+func TestFlashCrowdMirrorsFloodVictim(t *testing.T) {
+	topo := topology.Abilene()
+	_, _, flood := scenarioFixture(t, topo, "synflood", 64, 192, 5)
+	_, _, crowd := scenarioFixture(t, topo, "flashcrowd", 64, 192, 5)
+	_, floodVictim := topo.FlowEndpoints(flood.AffectedFlows[0])
+	if len(crowd.AffectedFlows) != topo.NumPoPs()-1 {
+		t.Fatalf("flash crowd touches %d flows, want every origin into the victim (%d)",
+			len(crowd.AffectedFlows), topo.NumPoPs()-1)
+	}
+	for _, f := range crowd.AffectedFlows {
+		if _, dst := topo.FlowEndpoints(f); dst != floodVictim {
+			t.Fatalf("flash crowd flow %d targets PoP %d, flood victim is %d", f, dst, floodVictim)
+		}
+	}
+}
+
+func TestScenarioApplyRejectsBadInput(t *testing.T) {
+	topo := topology.Abilene()
+	sc, err := ScenarioByName("beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	od := mat.Zeros(200, topo.NumFlows())
+	cases := []struct {
+		name string
+		od   *mat.Dense
+		star int
+	}{
+		{"wrong flow count", mat.Zeros(200, 5), 64},
+		{"start at zero", od, 0},
+		{"start past end", od, 200},
+		{"stream too short", od, 150},
+	}
+	for _, tc := range cases {
+		if _, err := sc.Apply(topo, tc.od, tc.star, 1); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+	// A zero-traffic history cannot scale injections.
+	if _, err := sc.Apply(topo, od, 64, 1); err == nil {
+		t.Fatal("zero-traffic history: expected error")
+	}
+}
+
+func TestStreamTruthRebasing(t *testing.T) {
+	truth := []LabeledBin{{Bin: 10, Flow: 1}, {Bin: 64, Flow: 2}, {Bin: 100, Flow: -1}}
+	got := StreamTruth(truth, 64)
+	want := []LabeledBin{{Bin: 0, Flow: 2}, {Bin: 36, Flow: -1}}
+	if len(got) != len(want) {
+		t.Fatalf("StreamTruth = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StreamTruth[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -278,7 +278,10 @@ func TestWithAnomaliesCopies(t *testing.T) {
 
 func TestRandomAnomalies(t *testing.T) {
 	topo := topology.Abilene()
-	as := RandomAnomalies(topo, 1008, 12, 1e7, 4e7, 3)
+	as, err := RandomAnomalies(topo, 1008, 12, 1e7, 4e7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(as) != 12 {
 		t.Fatalf("count = %d", len(as))
 	}
@@ -299,7 +302,10 @@ func TestRandomAnomalies(t *testing.T) {
 		seenBins[a.Bin] = true
 	}
 	// Deterministic in seed.
-	as2 := RandomAnomalies(topo, 1008, 12, 1e7, 4e7, 3)
+	as2, err := RandomAnomalies(topo, 1008, 12, 1e7, 4e7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range as {
 		if as[i] != as2[i] {
 			t.Fatal("RandomAnomalies must be deterministic")
@@ -307,20 +313,28 @@ func TestRandomAnomalies(t *testing.T) {
 	}
 }
 
-func TestRandomAnomaliesPanics(t *testing.T) {
+func TestRandomAnomaliesRejectsDegenerate(t *testing.T) {
 	topo := topology.Abilene()
-	for _, fn := range []func(){
-		func() { RandomAnomalies(topo, 5, 6, 1, 2, 0) },
-		func() { RandomAnomalies(topo, 10, 2, 5, 1, 0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			fn()
-		}()
+	cases := []struct {
+		name        string
+		bins, count int
+		min, max    float64
+	}{
+		{"count exceeds bins", 5, 6, 1, 2},
+		{"inverted size range", 10, 2, 5, 1},
+		{"zero count", 10, 0, 1, 2},
+		{"negative count", 10, -3, 1, 2},
+		{"zero bins", 0, 1, 1, 2},
+		{"negative bins", -5, 1, 1, 2},
+	}
+	for _, tc := range cases {
+		as, err := RandomAnomalies(topo, tc.bins, tc.count, tc.min, tc.max, 0)
+		if err == nil {
+			t.Fatalf("%s: expected error, got %d anomalies", tc.name, len(as))
+		}
+		if as != nil {
+			t.Fatalf("%s: error must not also return anomalies", tc.name)
+		}
 	}
 }
 

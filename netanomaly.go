@@ -84,6 +84,40 @@ type Anomaly = traffic.Anomaly
 // InjectAnomalies adds the anomalies to the OD matrix in place.
 func InjectAnomalies(od *Matrix, anomalies []Anomaly) { traffic.Inject(od, anomalies) }
 
+// LabeledBin is one ground-truth anomaly label — the bin and, when
+// known, the responsible OD flow (Flow < 0 scores detection only).
+type LabeledBin = traffic.LabeledBin
+
+// FlowCountAnomaly is a scan-shaped injection: extra IP flows, no
+// extra bytes, along one OD flow's path at one bin. Apply it to a
+// LinkMetricSet with InjectFlowCountAnomaly; only multi-metric
+// detectors can see it.
+type FlowCountAnomaly = traffic.FlowCountAnomaly
+
+// Scenario is one entry of the labeled attack-scenario library:
+// beaconing, scans, floods vs. flash crowds, exfiltration, lateral
+// movement — each composing onto any topology's OD-flow routing,
+// deterministic in its seed, and emitting flow-attributed ground
+// truth.
+type Scenario = traffic.Scenario
+
+// ScenarioResult is a scenario application's ground truth, metric-level
+// injections, and touched flows.
+type ScenarioResult = traffic.ScenarioResult
+
+// Scenarios returns the attack-scenario registry in stable order.
+func Scenarios() []Scenario { return traffic.Scenarios() }
+
+// ScenarioByName resolves a scenario registry name ("beacon", "scan",
+// "synflood", "flashcrowd", "exfil", "lateral").
+func ScenarioByName(name string) (Scenario, error) { return traffic.ScenarioByName(name) }
+
+// StreamTruth rebases absolute-bin scenario truth onto a stream
+// starting at bin start, dropping labels before it.
+func StreamTruth(truth []LabeledBin, start int) []LabeledBin {
+	return traffic.StreamTruth(truth, start)
+}
+
 // Options configure the diagnosis pipeline. The zero value gives the
 // paper's defaults: 3-sigma subspace separation and a 99.9% confidence
 // detection threshold.
