@@ -22,8 +22,11 @@
 // With -scorecard the tool instead regenerates SCORECARD.json — the
 // nine-backend × attack-scenario detection/false-alarm/identification
 // matrix over the scenario library (deterministic in its seed, so the
-// file is identical on every machine) — and, when -baseline names a
-// committed scorecard, fails if any cell regresses beyond tolerance.
+// file is identical on every machine), each cell also recording how
+// many incidents the correlation layer condenses its alarms into — and,
+// when -baseline names a committed scorecard, fails if any cell
+// regresses beyond tolerance, fragmentation (incident count rising)
+// included.
 //
 //	benchjson -out .
 //	benchjson -scorecard -out /tmp -baseline SCORECARD.json

@@ -36,7 +36,9 @@
 //	hybrid       cheap forecast triage (-triage names the kind, default
 //	             ewma) escalating alarmed bins to a subspace stage for
 //	             OD-flow identification (-escalation immediate,
-//	             confirm:<n>, or always); steady-state cost is the
+//	             confirm:<n>, or always; -hysteresis n holds the
+//	             escalation for n quiet bins so a flapping signal does
+//	             not thrash the stages); steady-state cost is the
 //	             forecast recursion, alarms carry flows
 //	sketch       Frequent-Directions sketched covariance (-sketch-size
 //	             rows, 0 = 4x rank; -drift-tol rebuild gate): O(l x m)
@@ -61,6 +63,16 @@
 //
 //	diagnose -topology abilene -links links.csv -stream -history 1008 \
 //	    -burst 4096 -max-pending 64 -overload dropoldest -autoscale 1:4
+//
+// With -incidents the streamed alarms are correlated into incidents: a
+// sustained anomaly prints one "incident #N open"/"incident #N closed"
+// pair instead of a line per alarmed bin, alarms on the same OD flow
+// (any view) merge, and an incident closes once -quiet-period bins pass
+// with no further alarms. The closing summary reports opened/closed
+// counts so scripts can assert "exactly one incident".
+//
+//	diagnose -topology abilene -links week.csv -stream -history 1008 \
+//	    -detector hybrid -incidents
 //
 // With -listen the command becomes a small live analyzer: the whole
 // -links matrix seeds the model, then binary streams are accepted on
@@ -108,6 +120,9 @@ func main() {
 	thresholdK := flag.Float64("k", 0, "forecast backends: alarm at mean + k*sigma of tracked residuals (0 = 6)")
 	triage := flag.String("triage", "ewma", "hybrid: triage stage kind (ewma, holtwinters, fourier)")
 	escalation := flag.String("escalation", "immediate", "hybrid: escalation policy (immediate, confirm:<n>, always)")
+	hysteresis := flag.Int("hysteresis", 0, "hybrid: stay escalated for n bins after the last triage alarm (0 = off)")
+	incidents := flag.Bool("incidents", false, "streaming: correlate alarms into incidents and print open/closed incident lines instead of per-bin alarms")
+	quietPeriod := flag.Int("quiet-period", 0, "incidents: quiet period in bins — alarms gapped closer merge, incidents close after it (0 = default 8)")
 	maxPending := flag.Int("max-pending", 0, "streaming: bound on queued unprocessed bins (0 = unbounded)")
 	overload := flag.String("overload", "block", "streaming: full-queue policy — block, dropoldest, or error")
 	autoscale := flag.String("autoscale", "", "streaming: elastic worker pool as min:max (empty = fixed pool)")
@@ -143,6 +158,9 @@ func main() {
 			thresholdK: *thresholdK,
 			triage:     netanomaly.DetectorKind(*triage),
 			escalation: *escalation,
+			hysteresis: *hysteresis,
+			incidents:  *incidents,
+			quiet:      *quietPeriod,
 			sketchSize: *sketchSize,
 			maxPending: *maxPending,
 			burst:      *burst,
@@ -222,6 +240,9 @@ type streamConfig struct {
 	thresholdK                 float64
 	triage                     netanomaly.DetectorKind
 	escalation                 string
+	hysteresis                 int
+	incidents                  bool
+	quiet                      int
 	sketchSize                 int
 	maxPending                 int
 	overload                   netanomaly.OverloadPolicy
@@ -281,11 +302,24 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	case netanomaly.DetectorHybrid:
 		viewOpts = append(viewOpts,
 			netanomaly.WithTriageKind(sc.triage), netanomaly.WithEscalation(sc.escalation),
+			netanomaly.WithHysteresis(sc.hysteresis),
 			netanomaly.WithAlpha(sc.alpha), netanomaly.WithBeta(sc.beta), netanomaly.WithThresholdK(sc.thresholdK))
 	}
 	// The detectors copy seed rows into their own state, so the history
 	// view can alias the loaded matrix.
 	history := netanomaly.NewMatrix(sc.history, m, links.RawData()[:sc.history*m])
+	// With -incidents the correlation stage consumes the alarm stream
+	// and the printed lines are incident transitions (absolute bins,
+	// like the alarm lines they replace).
+	var corr *netanomaly.Correlator
+	if sc.incidents {
+		corr = netanomaly.NewCorrelator(
+			netanomaly.WithQuietPeriod(sc.quiet),
+			netanomaly.WithIncidentCallback(func(e netanomaly.IncidentEvent) {
+				printIncident(topo, sc.history, e)
+			}),
+		)
+	}
 	// OnAlarm may be invoked concurrently from multiple workers; the mutex
 	// keeps the count exact and the output lines unscrambled.
 	var alarmMu sync.Mutex
@@ -305,6 +339,10 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 			alarmMu.Lock()
 			defer alarmMu.Unlock()
 			alarms++
+			if corr != nil {
+				corr.Observe(a.View, a.Alarm)
+				return
+			}
 			// Seq counts from the first streamed bin; print absolute
 			// bins. Bins dropped by the overload policy raise no alarms
 			// but still advance Seq, so the printed bin is the alarm's
@@ -366,7 +404,9 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		fmt.Printf("streaming: %s model seeded on %d bins (%d measurement columns, %s), %d bins to go in batches of %d\n",
 			stats.Backend, sc.history, stats.Links, rankNote, bins-sc.history, sc.batch)
 	}
-	printHeader()
+	if corr == nil {
+		printHeader()
+	}
 	rest := netanomaly.NewMatrix(bins-sc.history, m, links.RawData()[sc.history*m:])
 	failed := false
 	if sc.burst > 0 {
@@ -399,6 +439,18 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 		fmt.Fprintln(os.Stderr, "diagnose:", err)
 		failed = true
 	}
+	if corr != nil {
+		// All workers are quiescent now: advance the incident clock to
+		// the last processed bin so quiet-period closes fire, then close
+		// whatever is still open — the replay is over.
+		if vs, err := mon.ViewStats(view); err == nil && vs.Processed > 0 {
+			corr.Advance(vs.Processed - 1)
+		}
+		corr.Flush()
+		is := corr.Stats()
+		fmt.Printf("incidents: %d opened, %d closed; %d alarms merged, %d evicted\n",
+			is.Opened, is.Closed, is.Merged, is.Evicted)
+	}
 	fmt.Printf("%d alarms over %d streamed bins\n", alarms, bins-sc.history)
 	if st := mon.Stats(); sc.maxPending > 0 || sc.autoscale {
 		fmt.Printf("load: dropped %d bins (%d batches), rejected %d, workers peak %d\n",
@@ -406,8 +458,8 @@ func runStream(topo *netanomaly.Topology, links *netanomaly.Matrix, sc streamCon
 	}
 	if hd, ok := det.(*netanomaly.HybridDetector); ok {
 		hs := hd.HybridStats()
-		fmt.Printf("hybrid: %s triage flagged %d bins, %d escalated to subspace, %d identified, %d suppressed\n",
-			hs.Triage.Backend, hs.TriageAlarms, hs.Escalated, hs.Identified, hs.Suppressed)
+		fmt.Printf("hybrid: %s triage flagged %d bins, %d escalated to subspace (%d runs, %d held), %d identified, %d suppressed\n",
+			hs.Triage.Backend, hs.TriageAlarms, hs.Escalated, hs.EscalationRuns, hs.HeldBins, hs.Identified, hs.Suppressed)
 	}
 	if failed {
 		// Scripted callers check the exit code; an aborted or
@@ -520,6 +572,25 @@ func printAlarm(topo *netanomaly.Topology, bin int, d netanomaly.Diagnosis) {
 		flow = topo.FlowName(d.Flow)
 	}
 	fmt.Printf("%6d %14.4g %14.4g %-16s %14.4g\n", bin, d.SPE, d.Threshold, flow, d.Bytes)
+}
+
+// printIncident renders incident transitions with absolute bin numbers:
+// incident Seqs count from the first streamed bin, so the history length
+// is added back, matching the alarm lines the incident view replaces.
+func printIncident(topo *netanomaly.Topology, base int, e netanomaly.IncidentEvent) {
+	inc := e.Incident
+	what := fmt.Sprintf("view %s (unattributed)", inc.Key.Region)
+	if inc.Key.Flow >= 0 {
+		what = "flow " + topo.FlowName(inc.Key.Flow)
+	}
+	switch e.Type {
+	case netanomaly.IncidentOpened:
+		fmt.Printf("incident #%d open: %s, start bin %d, SPE %.4g\n",
+			inc.ID, what, base+inc.StartSeq, inc.PeakSPE)
+	case netanomaly.IncidentClosed:
+		fmt.Printf("incident #%d closed: %s, bins %d..%d, peak SPE %.4g, %.4g bytes, %d alarms, %d views, severity %.4g\n",
+			inc.ID, what, base+inc.StartSeq, base+inc.EndSeq, inc.PeakSPE, inc.Bytes, inc.Alarms, len(inc.Views), inc.Severity())
+	}
 }
 
 func parseTopology(name string) (*netanomaly.Topology, error) {

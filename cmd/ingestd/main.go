@@ -25,8 +25,17 @@
 // frames (raw or xor codec) can arrive on concurrent connections of
 // one server. -codec restricts which codecs are accepted (any, raw,
 // or xor; a v1 stream counts as raw). -detector selects the shard
-// backend (subspace, incremental, or sketch — the kinds that identify
-// OD flows from plain link loads).
+// backend; with -metrics n the wire is read as n column-stacked metric
+// blocks per bin (the trafficgen -metrics layout), which is what the
+// multiflow backend needs to see scans that never move byte counts.
+//
+// With -incidents the alarm stream feeds the incident correlation
+// stage instead of printing per-bin lines: one "incident #N open" line
+// when a sustained anomaly starts and one "incident #N closed" line
+// with the merged span, peak SPE and severity when its quiet period
+// expires. Incident state rides in the -checkpoint file (an envelope
+// concatenated after the monitor's), so a warm restart resumes open
+// incidents without re-announcing them.
 package main
 
 import (
@@ -66,6 +75,9 @@ func main() {
 	maxPending := flag.Int("max-pending", 0, "bound on queued unprocessed bins (0 = unbounded)")
 	overload := flag.String("overload", "block", "full-queue policy: block, dropoldest, or error")
 	codecPolicy := flag.String("codec", "any", "accept streams with this codec: any, raw, or xor (v1 streams count as raw)")
+	metricsN := flag.Int("metrics", 1, "column-stacked metrics per bin on the wire (match trafficgen -metrics; required >1 for -detector multiflow)")
+	incidents := flag.Bool("incidents", false, "correlate alarms into incidents and print open/closed incident lines instead of per-bin alarms")
+	quietPeriod := flag.Int("quiet-period", 0, "incident quiet period in bins: alarms gapped closer merge, incidents close after it (0 = default 8)")
 	checkpointDir := flag.String("checkpoint", "", "directory for warm-restart checkpoints: load on start, write on drain (empty = off)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "also checkpoint after every n newly processed bins (0 = only at drain)")
 	flag.Parse()
@@ -101,15 +113,37 @@ func main() {
 	case netanomaly.DetectorSketch:
 		viewOpts = append(viewOpts, netanomaly.WithSketchSize(*sketchSize), netanomaly.WithDriftTolerance(*driftTol))
 	case netanomaly.DetectorMultiFlow:
-		fatal(fmt.Errorf("ingestd serves plain link loads; -detector multiflow needs the column-stacked metric stream"))
+		// The multi-metric backend wants bins x (metrics x links)
+		// columns; the NAMB decoder is width-agnostic, so a stacked
+		// stream flows through unchanged once -metrics declares how many
+		// blocks the columns carry.
+		if *metricsN < 2 {
+			fatal(errors.New("-detector multiflow needs -metrics > 1: the wire must carry column-stacked metric blocks (see trafficgen -metrics)"))
+		}
+		viewOpts = append(viewOpts, netanomaly.WithMetrics(metricNames(*metricsN)...))
 	default:
 		fatal(fmt.Errorf("unknown -detector %q", kind))
+	}
+	if kind != netanomaly.DetectorMultiFlow && *metricsN != 1 {
+		fatal(fmt.Errorf("-metrics %d: only -detector multiflow consumes stacked metric streams", *metricsN))
 	}
 	policy, err := netanomaly.ParseOverloadPolicy(*overload)
 	if err != nil {
 		fatal(err)
 	}
 
+	// With -incidents the correlation stage sits in the alarm callback:
+	// raw alarms feed the correlator and the printed lines are incident
+	// transitions, one per root-caused anomaly instead of one per bin.
+	var corr *netanomaly.Correlator
+	if *incidents {
+		corr = netanomaly.NewCorrelator(
+			netanomaly.WithQuietPeriod(*quietPeriod),
+			netanomaly.WithIncidentCallback(func(e netanomaly.IncidentEvent) {
+				printIncident(topo, e)
+			}),
+		)
+	}
 	var alarmMu sync.Mutex
 	alarms := 0
 	monCfg := netanomaly.MonitorConfig{
@@ -120,6 +154,10 @@ func main() {
 			alarmMu.Lock()
 			defer alarmMu.Unlock()
 			alarms++
+			if corr != nil {
+				corr.Observe(a.View, a.Alarm)
+				return
+			}
 			flow := "-"
 			if a.Flow >= 0 {
 				flow = topo.FlowName(a.Flow)
@@ -142,14 +180,35 @@ func main() {
 	}
 	var mon *netanomaly.Monitor
 	restored := false
+	restoredIncidents := false
 	if ckptFile != "" {
 		if f, err := os.Open(ckptFile); err == nil {
 			spec := netanomaly.ViewSpec{Name: view, History: history, Topo: topo, Options: viewOpts}
 			mon, err = netanomaly.Restore(monCfg, f, []netanomaly.ViewSpec{spec}, monOpts...)
-			f.Close()
 			if err != nil {
+				f.Close()
 				fatal(fmt.Errorf("restore %s: %w", ckptFile, err))
 			}
+			// The monitor envelope self-delimits; the correlator's
+			// "incidents" envelope, when the checkpoint carries one, is
+			// concatenated after it. Restoring it is what keeps a warm
+			// restart from re-opening (and re-announcing) incidents that
+			// were already open at the kill.
+			if corr != nil {
+				var peek [1]byte
+				if _, err := io.ReadFull(f, peek[:]); err == nil {
+					rest := io.MultiReader(bytes.NewReader(peek[:]), f)
+					if err := corr.Restore(rest); err != nil {
+						f.Close()
+						fatal(fmt.Errorf("restore incidents from %s: %w", ckptFile, err))
+					}
+					restoredIncidents = true
+				} else if err != io.EOF {
+					f.Close()
+					fatal(err)
+				}
+			}
+			f.Close()
 			restored = true
 		} else if !errors.Is(err, os.ErrNotExist) {
 			fatal(err)
@@ -168,6 +227,9 @@ func main() {
 	if restored {
 		fmt.Printf("ingestd: %s model restored from %s at bin %d (%s: %d links, rank %d)\n",
 			stats.Backend, ckptFile, stats.Processed, topo.Name(), stats.Links, stats.Rank)
+		if restoredIncidents {
+			fmt.Printf("ingestd: incident state restored: %d open\n", corr.Stats().Open)
+		}
 	} else {
 		fmt.Printf("ingestd: %s model seeded on %d bins (%s: %d links, rank %d)\n",
 			stats.Backend, history.Rows(), topo.Name(), stats.Links, stats.Rank)
@@ -180,6 +242,27 @@ func main() {
 	// a batch.
 	stopCkpt := make(chan struct{})
 	var ckptWG sync.WaitGroup
+	// The incident clock advances with processed bins, not just observed
+	// alarms, so open incidents close a quiet period after their last
+	// alarm even while the stream stays healthy.
+	if corr != nil {
+		ckptWG.Add(1)
+		go func() {
+			defer ckptWG.Done()
+			t := time.NewTicker(500 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-t.C:
+					if vs, err := mon.ViewStats(view); err == nil && vs.Processed > 0 {
+						corr.Advance(vs.Processed - 1)
+					}
+				}
+			}
+		}()
+	}
 	if ckptFile != "" && *checkpointEvery > 0 {
 		ckptWG.Add(1)
 		go func() {
@@ -196,7 +279,7 @@ func main() {
 					if err != nil || vs.Processed-last < *checkpointEvery {
 						continue
 					}
-					if err := writeCheckpoint(mon, ckptFile); err != nil {
+					if err := writeCheckpoint(mon, corr, ckptFile); err != nil {
 						fmt.Fprintln(os.Stderr, "ingestd: checkpoint:", err)
 						continue
 					}
@@ -308,15 +391,28 @@ func main() {
 	close(stopCkpt)
 	ckptWG.Wait()
 	mon.Close()
+	if corr != nil {
+		// Close whatever the quiet period has already expired on; what
+		// is still open either persists in the checkpoint below or is
+		// flushed once no checkpoint will carry it.
+		if vs, err := mon.ViewStats(view); err == nil && vs.Processed > 0 {
+			corr.Advance(vs.Processed - 1)
+		}
+	}
 	// Close drained every queue, which is exactly the quiesced state the
 	// final checkpoint wants: the next start resumes from the last bin
 	// this process handed to a detector.
 	if ckptFile != "" {
-		if err := writeCheckpoint(mon, ckptFile); err != nil {
+		if err := writeCheckpoint(mon, corr, ckptFile); err != nil {
 			fmt.Fprintln(os.Stderr, "ingestd: final checkpoint:", err)
 		} else {
 			fmt.Printf("ingestd: checkpoint written to %s\n", ckptFile)
 		}
+	}
+	if corr != nil && ckptFile == "" {
+		// No checkpoint will resume these: the stream has ended for
+		// good, so the remaining open incidents close now.
+		corr.Flush()
 	}
 	failed := false
 	for _, err := range mon.Errs() {
@@ -341,15 +437,22 @@ func main() {
 	ms := mon.Stats()
 	fmt.Printf("ingestd: %d streams, %d bins processed, %d alarms, %d refits; dropped %d bins, rejected %d\n",
 		served.Load(), vs.Processed, alarms, vs.Refits, ms.DroppedBins, ms.RejectedBins)
+	if corr != nil {
+		is := corr.Stats()
+		fmt.Printf("ingestd: incidents: %d opened, %d closed, %d still open; %d alarms merged, %d evicted\n",
+			is.Opened, is.Closed, is.Open, is.Merged, is.Evicted)
+	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// writeCheckpoint writes the monitor checkpoint next to its final path
-// and renames it into place, so a crash mid-write leaves the previous
-// checkpoint intact and a reader never sees a torn file.
-func writeCheckpoint(mon *netanomaly.Monitor, path string) error {
+// writeCheckpoint writes the monitor checkpoint — followed, when the
+// incident layer is on, by the correlator's own envelope (NAMS
+// envelopes self-delimit, so the two concatenate in one file) — next to
+// its final path and renames it into place, so a crash mid-write leaves
+// the previous checkpoint intact and a reader never sees a torn file.
+func writeCheckpoint(mon *netanomaly.Monitor, corr *netanomaly.Correlator, path string) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".checkpoint-*.tmp")
 	if err != nil {
 		return err
@@ -359,10 +462,36 @@ func writeCheckpoint(mon *netanomaly.Monitor, path string) error {
 		tmp.Close()
 		return err
 	}
+	if corr != nil {
+		if err := corr.Snapshot(tmp); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// printIncident renders one incident transition; update events are
+// deliberately silent — the whole point of the layer is one line when
+// an incident opens and one when it resolves.
+func printIncident(topo *netanomaly.Topology, e netanomaly.IncidentEvent) {
+	inc := e.Incident
+	what := fmt.Sprintf("view %s (unattributed)", inc.Key.Region)
+	if inc.Key.Flow >= 0 {
+		what = "flow " + topo.FlowName(inc.Key.Flow)
+	}
+	switch e.Type {
+	case netanomaly.IncidentOpened:
+		fmt.Printf("incident #%d open: %s, start bin %d, SPE %.4g\n",
+			inc.ID, what, inc.StartSeq, inc.PeakSPE)
+	case netanomaly.IncidentClosed:
+		fmt.Printf("incident #%d closed: %s, bins %d..%d, peak SPE %.4g, %.4g bytes, %d alarms, %d views, severity %.4g\n",
+			inc.ID, what, inc.StartSeq, inc.EndSeq, inc.PeakSPE, inc.Bytes,
+			inc.Alarms, len(inc.Views), inc.Severity())
+	}
 }
 
 // loadMatrixSniffed reads a link matrix in either supported encoding,
@@ -399,6 +528,20 @@ func parseTopology(name string) (*netanomaly.Topology, error) {
 	default:
 		return nil, fmt.Errorf("unknown topology %q", name)
 	}
+}
+
+// metricNames labels n stacked metric blocks: the canonical Section 7.2
+// triple when n is 3 (the trafficgen -metrics layout), generic labels
+// otherwise.
+func metricNames(n int) []string {
+	if n == 3 {
+		return []string{"bytes", "flows", "pktsize"}
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("metric%d", i)
+	}
+	return names
 }
 
 func fatal(err error) {

@@ -86,6 +86,14 @@ type HybridConfig struct {
 	// disables the re-seed (the triage stage's own refit cadence is
 	// configured on the triage detector itself).
 	RefitEvery int
+	// Hysteresis keeps the identification stage engaged for this many
+	// bins after the last policy-driven escalation, so a triage stage
+	// oscillating around its threshold does not escalate and
+	// de-escalate every other bin. Held bins run identification even
+	// when the triage stage is quiet (their alarms, if any, come from
+	// the identification stage); 0 disables holding. Ignored by
+	// EscalateAlways, which escalates everything anyway.
+	Hysteresis int
 }
 
 // HybridStats is a HybridDetector's two-stage breakdown: the per-stage
@@ -107,6 +115,14 @@ type HybridStats struct {
 	// policy withholding identification from unconfirmed blips); their
 	// alarms fired with Flow = -1.
 	Suppressed int
+	// EscalationRuns counts distinct escalation episodes: transitions
+	// from not-escalating to escalating. A triage stage flapping around
+	// its threshold shows here as many short runs; hysteresis exists to
+	// drive this down without losing escalated coverage.
+	EscalationRuns int
+	// HeldBins counts bins escalated purely by hysteresis — the triage
+	// stage was quiet, but the hold window kept identification engaged.
+	HeldBins int
 }
 
 // HybridDetector pairs a cheap always-on triage stage with a subspace
@@ -144,16 +160,19 @@ type HybridStats struct {
 // caller — handing either stage to another Monitor view breaks the
 // one-ProcessBatch-caller guarantee it relies on.
 type HybridDetector struct {
-	triage   ViewDetector
-	identify ViewDetector
-	policy   Escalation
-	confirm  int
-	links    int
+	triage     ViewDetector
+	identify   ViewDetector
+	policy     Escalation
+	confirm    int
+	hysteresis int
+	links      int
 
 	mu         sync.Mutex // guards the fields below
 	window     *mat.RowRing
 	processed  int
 	run        int // consecutive triage-alarmed bins
+	hold       int // hysteresis bins left before de-escalating
+	inEsc      bool
 	sinceRefit int
 	refitEvery int
 	gate       *RefitGate
@@ -163,6 +182,8 @@ type HybridDetector struct {
 	escalated    int
 	identified   int
 	suppressed   int
+	escRuns      int
+	heldBins     int
 	refitHook    func()
 }
 
@@ -191,6 +212,9 @@ func NewHybridDetector(triage, identify ViewDetector, history *mat.Dense, cfg Hy
 	if cfg.Confirm < 1 {
 		return nil, fmt.Errorf("core: hybrid confirmation count %d < 1", cfg.Confirm)
 	}
+	if cfg.Hysteresis < 0 {
+		return nil, fmt.Errorf("core: hybrid hysteresis %d < 0", cfg.Hysteresis)
+	}
 	capacity := cfg.Window
 	if capacity <= 0 {
 		capacity = bins
@@ -200,6 +224,7 @@ func NewHybridDetector(triage, identify ViewDetector, history *mat.Dense, cfg Hy
 		identify:   identify,
 		policy:     cfg.Escalation,
 		confirm:    cfg.Confirm,
+		hysteresis: cfg.Hysteresis,
 		links:      tLinks,
 		window:     mat.NewRowRing(capacity, tLinks),
 		refitEvery: cfg.RefitEvery,
@@ -267,6 +292,21 @@ func (d *HybridDetector) ProcessBatch(y *mat.Dense) ([]Alarm, error) {
 		case EscalateConfirm:
 			esc = alarmed && d.run >= d.confirm
 		}
+		// Hysteresis: a policy-driven escalation re-arms the hold; a
+		// quiet bin inside the hold window stays escalated so a triage
+		// stage flapping around its threshold does not start a fresh
+		// subspace episode every other bin.
+		if esc {
+			d.hold = d.hysteresis
+		} else if d.hold > 0 {
+			d.hold--
+			d.heldBins++
+			esc = true
+		}
+		if esc && !d.inEsc {
+			d.escRuns++
+		}
+		d.inEsc = esc
 		if esc {
 			escRows = append(escRows, b)
 		} else if alarmed {
@@ -427,6 +467,8 @@ func (d *HybridDetector) Seed(history *mat.Dense) error {
 	if err == nil {
 		d.window = window
 		d.run = 0
+		d.hold = 0
+		d.inEsc = false
 		d.sinceRefit = 0
 		d.refits++
 	}
@@ -484,12 +526,16 @@ func (d *HybridDetector) Snapshot(w io.Writer) error {
 		sw.RowRing(d.window)
 		sw.Int(d.processed)
 		sw.Int(d.run)
+		sw.Int(d.hold)
+		sw.Bool(d.inEsc)
 		sw.Int(d.sinceRefit)
 		sw.Int(d.refits)
 		sw.Int(d.triageAlarms)
 		sw.Int(d.escalated)
 		sw.Int(d.identified)
 		sw.Int(d.suppressed)
+		sw.Int(d.escRuns)
+		sw.Int(d.heldBins)
 		sw.Nested(d.triage.Snapshot)
 		sw.Nested(d.identify.Snapshot)
 	})
@@ -515,12 +561,16 @@ func (d *HybridDetector) Restore(r io.Reader) error {
 		window := sr.RowRing(d.links)
 		processed := sr.NonNegInt()
 		run := sr.NonNegInt()
+		hold := sr.NonNegInt()
+		inEsc := sr.Bool()
 		sinceRefit := sr.NonNegInt()
 		refits := sr.NonNegInt()
 		triageAlarms := sr.NonNegInt()
 		escalated := sr.NonNegInt()
 		identified := sr.NonNegInt()
 		suppressed := sr.NonNegInt()
+		escRuns := sr.NonNegInt()
+		heldBins := sr.NonNegInt()
 		if err := sr.Err(); err != nil {
 			return err
 		}
@@ -532,12 +582,16 @@ func (d *HybridDetector) Restore(r io.Reader) error {
 		d.window = window
 		d.processed = processed
 		d.run = run
+		d.hold = hold
+		d.inEsc = inEsc
 		d.sinceRefit = sinceRefit
 		d.refits = refits
 		d.triageAlarms = triageAlarms
 		d.escalated = escalated
 		d.identified = identified
 		d.suppressed = suppressed
+		d.escRuns = escRuns
+		d.heldBins = heldBins
 		return nil
 	})
 }
@@ -547,10 +601,12 @@ func (d *HybridDetector) Restore(r io.Reader) error {
 func (d *HybridDetector) HybridStats() HybridStats {
 	d.mu.Lock()
 	hs := HybridStats{
-		TriageAlarms: d.triageAlarms,
-		Escalated:    d.escalated,
-		Identified:   d.identified,
-		Suppressed:   d.suppressed,
+		TriageAlarms:   d.triageAlarms,
+		Escalated:      d.escalated,
+		Identified:     d.identified,
+		Suppressed:     d.suppressed,
+		EscalationRuns: d.escRuns,
+		HeldBins:       d.heldBins,
 	}
 	d.mu.Unlock()
 	hs.Triage = d.triage.Stats()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"strings"
@@ -377,5 +378,84 @@ func TestParseEscalation(t *testing.T) {
 		if err != nil || back != e {
 			t.Fatalf("round trip %v: %v %v", e, back, err)
 		}
+	}
+}
+
+// TestHybridHysteresisCollapsesChurn drives a noisy-threshold stream —
+// the triage stage flipping between alarmed and quiet every bin — and
+// proves the hold window collapses the escalation churn: without
+// hysteresis every alarmed bin opens its own escalation episode, with
+// it the whole flap is one episode and the alarm stream is unchanged.
+func TestHybridHysteresisCollapsesChurn(t *testing.T) {
+	const links = 2
+	flap := make([]float64, 20)
+	for b := range flap {
+		if b%2 == 0 {
+			flap[b] = 1
+		}
+	}
+
+	flat, _, _ := newStubHybrid(t, links, HybridConfig{})
+	flatAlarms, err := flat.ProcessBatch(markerBatch(links, flap...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, _, identify := newStubHybrid(t, links, HybridConfig{Hysteresis: 2})
+	heldAlarms, err := held.ProcessBatch(markerBatch(links, flap...))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, hs := flat.HybridStats(), held.HybridStats()
+	if fs.EscalationRuns != 10 || fs.HeldBins != 0 || fs.Escalated != 10 {
+		t.Fatalf("no-hysteresis stats %+v, want 10 one-bin escalation runs", fs)
+	}
+	if hs.EscalationRuns != 1 {
+		t.Fatalf("hysteresis stats %+v, want the flap collapsed to 1 escalation run", hs)
+	}
+	if hs.HeldBins != 10 || hs.Escalated != 20 {
+		t.Fatalf("hysteresis stats %+v, want 10 held bins among 20 escalated", hs)
+	}
+	// The quiet bins reached the identification stage during the hold.
+	if got := identify.receivedRows(); len(got) != 20 {
+		t.Fatalf("identify saw %d rows under hysteresis, want all 20", len(got))
+	}
+	// Same alarm stream either way: holding changes what the identify
+	// stage sees, not which bins alarm.
+	if len(flatAlarms) != len(heldAlarms) {
+		t.Fatalf("alarm streams diverge: %d vs %d", len(flatAlarms), len(heldAlarms))
+	}
+	for i := range flatAlarms {
+		if flatAlarms[i].Seq != heldAlarms[i].Seq {
+			t.Fatalf("alarm %d at seq %d vs %d", i, flatAlarms[i].Seq, heldAlarms[i].Seq)
+		}
+	}
+}
+
+// The hold window survives a snapshot/restore mid-flap: the resumed
+// hybrid keeps holding instead of starting a new escalation episode.
+func TestHybridHysteresisSnapshotResume(t *testing.T) {
+	const links = 2
+	d, _, _ := newStubHybrid(t, links, HybridConfig{Hysteresis: 3})
+	if _, err := d.ProcessBatch(markerBatch(links, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, _, _ := newStubHybrid(t, links, HybridConfig{Hysteresis: 3})
+	if err := r.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ProcessBatch(markerBatch(links, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	hs := r.HybridStats()
+	if hs.EscalationRuns != 1 {
+		t.Fatalf("restored hybrid started a new escalation run: %+v", hs)
+	}
+	if hs.HeldBins != 2 || hs.Escalated != 4 {
+		t.Fatalf("restored hold window wrong: %+v", hs)
 	}
 }

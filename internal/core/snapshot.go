@@ -76,6 +76,10 @@ const (
 
 	SnapKindView    byte = 0x20
 	SnapKindMonitor byte = 0x21
+	// SnapKindIncidents is the incident correlator's live table — an
+	// engine-level envelope appended after the monitor envelope in a
+	// checkpoint file so a warm restart resumes open incidents.
+	SnapKindIncidents byte = 0x22
 )
 
 // KindName maps a snapshot kind byte to the backend name Stats()
@@ -104,6 +108,8 @@ func KindName(kind byte) string {
 		return "view"
 	case SnapKindMonitor:
 		return "monitor"
+	case SnapKindIncidents:
+		return "incidents"
 	default:
 		return ""
 	}
@@ -112,6 +118,13 @@ func KindName(kind byte) string {
 // SnapshotMismatchf builds an ErrSnapshotMismatch-classified error.
 func SnapshotMismatchf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrSnapshotMismatch, fmt.Sprintf(format, args...))
+}
+
+// SnapshotFormatf builds an ErrSnapshotFormat-classified error, for
+// decoders outside this package (the incident correlator) that enforce
+// canonical payloads of their own.
+func SnapshotFormatf(format string, args ...any) error {
+	return snapshotFormatf(format, args...)
 }
 
 func snapshotFormatf(format string, args ...any) error {

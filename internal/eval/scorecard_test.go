@@ -84,6 +84,22 @@ func TestScorecardQualitativeStructure(t *testing.T) {
 		t.Fatalf("subspace on synflood: detection %.2f identification %.2f, want >= 0.9",
 			ssFlood.DetectionRate, ssFlood.IdentificationRate)
 	}
+	// Incident-level structure: the flood is one sustained window, so a
+	// clean detector's alarms must condense to exactly one incident; the
+	// flashcrowd control raises none; the beacon's bursts are spaced
+	// wider than the quiet period, so they must NOT merge into one.
+	if c := card.Cell("fourier", "synflood"); c.Incidents != 1 {
+		t.Fatalf("fourier on synflood: %d alarmed bins became %d incidents, want exactly 1",
+			c.Detected+c.FalseAlarms, c.Incidents)
+	}
+	for _, b := range []string{"ewma", "fourier", "hybrid"} {
+		if c := card.Cell(b, "flashcrowd"); c.Incidents != 0 {
+			t.Fatalf("%s on the flashcrowd control opened %d incidents, want 0", b, c.Incidents)
+		}
+	}
+	if c := card.Cell("ewma", "beacon"); c.Incidents <= 1 {
+		t.Fatalf("ewma on beacon condensed to %d incidents; spaced bursts must stay separate", c.Incidents)
+	}
 }
 
 func TestCompareScorecards(t *testing.T) {
@@ -120,6 +136,19 @@ func TestCompareScorecards(t *testing.T) {
 	regs = CompareScorecards(card, &noisy, tol)
 	if len(regs) != 2 {
 		t.Fatalf("false-alarm/identification regressions not flagged: %v", regs)
+	}
+	// Fragmentation — the incident count rising beyond tolerance — is a
+	// regression; a rise within the slack passes.
+	frag := *card
+	frag.Cells = append([]ScorecardCell(nil), card.Cells...)
+	frag.Cells[3].Incidents += tol.Incidents + 2
+	regs = CompareScorecards(card, &frag, tol)
+	if len(regs) != 1 || !strings.Contains(regs[0], "fragmentation") {
+		t.Fatalf("fragmentation not flagged: %v", regs)
+	}
+	frag.Cells[3].Incidents = card.Cells[3].Incidents + tol.Incidents
+	if regs := CompareScorecards(card, &frag, tol); len(regs) != 0 {
+		t.Fatalf("within-tolerance incident rise flagged: %v", regs)
 	}
 	// A cell missing from the current scorecard is a regression, not a
 	// silent pass.

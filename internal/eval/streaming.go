@@ -156,6 +156,17 @@ type LabeledBin = traffic.LabeledBin
 // flows (forecast, multiscale) score 0/n identified on flow-labeled
 // truths.
 func EvaluateStreamingFlows(det core.ViewDetector, stream *mat.Dense, batchSize int, truth []LabeledBin) (StreamResult, error) {
+	r, _, err := EvaluateStreamingAlarms(det, stream, batchSize, truth)
+	return r, err
+}
+
+// EvaluateStreamingAlarms is EvaluateStreamingFlows returning the raw
+// alarm stream alongside the per-bin score, with every alarm's Seq
+// rebased to the stream (bin 0 = first streamed row) and in stream
+// order. The alarms feed incident-level scoring: the per-bin result
+// cannot distinguish one sustained anomaly from n fragments, but the
+// correlation layer consuming these alarms can.
+func EvaluateStreamingAlarms(det core.ViewDetector, stream *mat.Dense, batchSize int, truth []LabeledBin) (StreamResult, []core.Alarm, error) {
 	bins, cols := stream.Dims()
 	if batchSize <= 0 {
 		batchSize = 64
@@ -164,6 +175,7 @@ func EvaluateStreamingFlows(det core.ViewDetector, stream *mat.Dense, batchSize 
 	// flagged maps an alarmed stream bin to the flow its alarm
 	// attributed (-1 when the backend does not identify).
 	flagged := make(map[int]int)
+	var raised []core.Alarm
 	data := stream.RawData()
 	for r0 := 0; r0 < bins; r0 += batchSize {
 		r1 := r0 + batchSize
@@ -173,15 +185,17 @@ func EvaluateStreamingFlows(det core.ViewDetector, stream *mat.Dense, batchSize 
 		chunk := mat.NewDense(r1-r0, cols, data[r0*cols:r1*cols])
 		alarms, err := det.ProcessBatch(chunk)
 		if err != nil {
-			return StreamResult{}, fmt.Errorf("eval: streaming %s: %w", det.Stats().Backend, err)
+			return StreamResult{}, nil, fmt.Errorf("eval: streaming %s: %w", det.Stats().Backend, err)
 		}
 		for _, a := range alarms {
 			flagged[a.Seq-base] = a.Flow
+			a.Seq -= base
+			raised = append(raised, a)
 		}
 	}
 	det.WaitRefits()
 	if err := det.TakeRefitError(); err != nil {
-		return StreamResult{}, fmt.Errorf("eval: streaming %s refit: %w", det.Stats().Backend, err)
+		return StreamResult{}, nil, fmt.Errorf("eval: streaming %s refit: %w", det.Stats().Backend, err)
 	}
-	return ScoreAlarmFlows(det.Stats().Backend, flagged, truth, bins), nil
+	return ScoreAlarmFlows(det.Stats().Backend, flagged, truth, bins), raised, nil
 }

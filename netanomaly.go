@@ -9,6 +9,7 @@ import (
 	"netanomaly/internal/core"
 	"netanomaly/internal/engine"
 	"netanomaly/internal/forecast"
+	"netanomaly/internal/incident"
 	"netanomaly/internal/mat"
 	"netanomaly/internal/netmeas"
 	"netanomaly/internal/topology"
@@ -348,6 +349,7 @@ type viewConfig struct {
 	k          float64
 	triage     DetectorKind
 	escalation string
+	hysteresis int
 	sketchSize int
 	limits     engine.ViewLimits
 }
@@ -410,6 +412,15 @@ func WithTriageKind(kind DetectorKind) ViewOption {
 // Unknown policies fail in AddView.
 func WithEscalation(policy string) ViewOption {
 	return func(vc *viewConfig) { vc.escalation = policy }
+}
+
+// WithHysteresis keeps the hybrid backend's identification stage
+// engaged for n bins after the last policy-driven escalation, so a
+// triage stage oscillating around its threshold does not open a fresh
+// subspace episode every other bin; HybridStats.EscalationRuns counts
+// the episodes the hold collapses. 0 (the default) disables holding.
+func WithHysteresis(n int) ViewOption {
+	return func(vc *viewConfig) { vc.hysteresis = n }
 }
 
 // WithSketchSize sets the sketch backend's Frequent-Directions sketch
@@ -624,7 +635,85 @@ func buildHybrid(vc viewConfig, history *Matrix, routing *Matrix, window int, cf
 		Confirm:    confirm,
 		Window:     window,
 		RefitEvery: cfg.RefitEvery,
+		Hysteresis: vc.hysteresis,
 	})
+}
+
+// Correlator clusters the Monitor's per-bin alarm stream into
+// deduplicated Incident records: alarms sharing an attributed OD flow
+// (across views and metrics) or, when unattributed, an emitting view,
+// merge into one incident while their bins overlap or gap by less than
+// the quiet period. Feed it from the monitor's OnAlarm callback —
+// c.Observe(a.View, a.Alarm) — or a TakeAlarms drain; it is safe under
+// the callback's concurrency. See docs/BACKENDS.md's Incidents section.
+type Correlator = incident.Correlator
+
+// Incident is one correlated anomaly: merged bin span, peak SPE,
+// attributed bytes, contributing views, and a severity of peak SPE ×
+// duration × view agreement.
+type Incident = incident.Incident
+
+// IncidentKey is an incident's correlation identity: the attributed
+// flow, or the emitting view (Region) for Flow = -1 alarms.
+type IncidentKey = incident.Key
+
+// IncidentEvent is one incident state transition (open → update →
+// closed) delivered to the WithIncidentCallback observer.
+type IncidentEvent = incident.Event
+
+// IncidentStats is a correlator's lifetime transition counts.
+type IncidentStats = incident.Stats
+
+// Incident state transitions, as IncidentEvent.Type.
+const (
+	IncidentOpened  = incident.Opened
+	IncidentUpdated = incident.Updated
+	IncidentClosed  = incident.Closed
+)
+
+// CorrelatorOption configures NewCorrelator.
+type CorrelatorOption func(*incident.Config)
+
+// WithQuietPeriod sets the gap, in bins, that separates incidents: an
+// alarm within the quiet period of an open incident's last alarm merges
+// into it, and an incident closes once the stream advances a full quiet
+// period past its last alarm (default 8).
+func WithQuietPeriod(bins int) CorrelatorOption {
+	return func(c *incident.Config) { c.QuietPeriod = bins }
+}
+
+// WithMaxLiveIncidents bounds the live-incident table (default 64);
+// opening an incident beyond the bound force-closes the stalest one.
+func WithMaxLiveIncidents(n int) CorrelatorOption {
+	return func(c *incident.Config) { c.MaxLive = n }
+}
+
+// WithIncidentCallback installs the incident observer. It is invoked
+// synchronously under the correlator's lock, possibly from several of
+// the monitor's worker goroutines in turn, so it must be quick and must
+// not call back into the correlator.
+func WithIncidentCallback(fn func(IncidentEvent)) CorrelatorOption {
+	return func(c *incident.Config) { c.OnEvent = fn }
+}
+
+// NewCorrelator builds the incident correlation stage. Wire it above a
+// Monitor by observing every alarm, advance its clock with the
+// processed-bin count when the stream pauses, and Flush at stream end:
+//
+//	corr := netanomaly.NewCorrelator(netanomaly.WithIncidentCallback(onIncident))
+//	cfg.OnAlarm = func(a netanomaly.MonitorAlarm) { corr.Observe(a.View, a.Alarm) }
+//	...
+//	corr.Flush()
+//
+// Its Snapshot/Restore envelope (kind "incidents") concatenates after a
+// Monitor checkpoint so a warm restart resumes open incidents without
+// re-opening duplicates.
+func NewCorrelator(opts ...CorrelatorOption) *Correlator {
+	var cfg incident.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return incident.New(cfg)
 }
 
 // ErrSnapshotFormat classifies structurally corrupt detector or
